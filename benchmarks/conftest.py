@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, asserts
+the reproduced *shape* (who wins, roughly by how much, where the pain
+concentrates) and writes the paper-style output to ``results/``.
+
+Scaling knobs:
+
+- ``REPRO_BENCH_SCALE``  multiplies per-thread op counts (default 1.0).
+- ``REPRO_LITMUS_RUNS``  randomized executions per litmus configuration
+  (default 40 here; the paper ran 100k in gem5 -- crank it up for
+  higher confidence).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture
+def save_json(results_dir):
+    from repro.stats.export import dump_json
+
+    def _save(name: str, obj) -> None:
+        dump_json(obj, results_dir / f"{name}.json")
+
+    return _save

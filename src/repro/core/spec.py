@@ -1,0 +1,146 @@
+"""Stable-state protocol (SSP) specifications -- the generator's input.
+
+Progen-style machine-readable protocol summaries: the stable states with
+their permission semantics (via :class:`~repro.protocols.variants.
+ProtocolVariant`), the request classes a cache controller can issue, the
+snoop classes a directory can deliver, and the concrete wire-message
+names used for the Table II dump and the SLICC-like emitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.variants import (
+    CXL,
+    GLOBAL_MESI,
+    MESI,
+    MESIF,
+    MOESI,
+    RCC,
+    ProtocolVariant,
+    READ,
+    WRITE,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Machine-readable stable-state summary of one protocol."""
+
+    name: str
+    variant: ProtocolVariant
+    #: request class -> permission it must end up with.
+    requests: dict = field(default_factory=dict)
+    #: concrete message names for abstract roles (display/emission only).
+    wire: dict = field(default_factory=dict)
+
+    def request_permission(self, request: str) -> int:
+        """Permission level the request class must end up with."""
+        return self.requests[request]
+
+    #: Local-directory summary alphabet the compound machine tracks.
+    def summaries(self) -> tuple[str, ...]:
+        """Local-directory summary alphabet the compound machine tracks."""
+        names = ["I", "S", "M"]
+        if self.variant.has_o_state:
+            names.insert(2, "O")
+        return tuple(names)
+
+
+_LOCAL_WIRE = {
+    "GetS": "GetS",
+    "GetM": "GetM",
+    "inv": "Inv",
+    "fwd_gets": "Fwd-GetS",
+    "fwd_getm": "Fwd-GetM",
+    "wb": "PutM",
+    "data": "Data",
+}
+
+MESI_SPEC = ProtocolSpec(
+    "MESI", MESI,
+    requests={"GetS": READ, "GetM": WRITE},
+    wire=dict(_LOCAL_WIRE),
+)
+
+MESIF_SPEC = ProtocolSpec(
+    "MESIF", MESIF,
+    requests={"GetS": READ, "GetM": WRITE},
+    wire=dict(_LOCAL_WIRE),
+)
+
+MOESI_SPEC = ProtocolSpec(
+    "MOESI", MOESI,
+    requests={"GetS": READ, "GetM": WRITE},
+    wire=dict(_LOCAL_WIRE),
+)
+
+RCC_SPEC = ProtocolSpec(
+    "RCC", RCC,
+    requests={"RCC_READ": READ, "RCC_WRITE": WRITE},
+    wire={
+        "GetS": "RccRead",
+        "GetM": "RccWrite",
+        "inv": "SelfInv",
+        "fwd_gets": "-",
+        "fwd_getm": "-",
+        "wb": "RccFlush",
+        "data": "RccData",
+    },
+)
+
+CXL_SPEC = ProtocolSpec(
+    "CXL", CXL,
+    requests={"GetS": READ, "GetM": WRITE},
+    wire={
+        "GetS": "MemRd,S",
+        "GetM": "MemRd,A",
+        "inv": "BISnpInv",
+        "data": "BISnpData",
+        "wb_drop": "MemWr,I",
+        "wb_keep": "MemWr,S",
+        "cmp": "Cmp-M/S/E",
+        "conflict": "BIConflict",
+    },
+)
+
+GMESI_SPEC = ProtocolSpec(
+    "GMESI", GLOBAL_MESI,
+    requests={"GetS": READ, "GetM": WRITE},
+    wire={
+        "GetS": "GetS",
+        "GetM": "GetM",
+        "inv": "Inv",
+        "data": "Fwd-GetS",
+        "wb_drop": "PutM",
+        "wb_keep": "WBData",
+        "cmp": "Data/Ack",
+        "conflict": "-",
+    },
+)
+
+LOCAL_SPECS = {
+    "MESI": MESI_SPEC,
+    "MESIF": MESIF_SPEC,
+    "MOESI": MOESI_SPEC,
+    "RCC": RCC_SPEC,
+}
+
+GLOBAL_SPECS = {"CXL": CXL_SPEC, "MESI": GMESI_SPEC}
+
+
+def local_spec(name: str) -> ProtocolSpec:
+    """Look up a local (intra-cluster) protocol spec by name."""
+    try:
+        return LOCAL_SPECS[name]
+    except KeyError:
+        raise ValueError(f"no local protocol spec {name!r}") from None
+
+
+def global_spec(name: str) -> ProtocolSpec:
+    """Look up a global protocol spec by name (CXL or MESI)."""
+    try:
+        return GLOBAL_SPECS[name]
+    except KeyError:
+        raise ValueError(f"no global protocol spec {name!r}") from None

@@ -1,0 +1,35 @@
+"""CPU layer: micro-ops, thread programs, MCM engines and the core model.
+
+- :mod:`repro.cpu.isa` -- the architecture-neutral memory micro-ops
+  (loads, stores, RMWs, fences, acquire/release) and thread programs.
+- :mod:`repro.cpu.mcm` -- memory-consistency-model engines: SC, x86-TSO
+  (FIFO store buffer, store-load reordering, forwarding), ARM-style WEAK
+  (out-of-order issue bounded by dependencies, fences and same-address
+  order) and RCC (WEAK ordering with synchronizing acquire/release).
+- :mod:`repro.cpu.core` -- the windowed core timing model that drives a
+  thread program against an L1 cache controller.
+"""
+
+from repro.cpu.isa import (
+    Op,
+    ThreadProgram,
+    load,
+    store,
+    rmw,
+    fence,
+    load_acquire,
+    store_release,
+)
+from repro.cpu.mcm import make_mcm
+
+__all__ = [
+    "Op",
+    "ThreadProgram",
+    "load",
+    "store",
+    "rmw",
+    "fence",
+    "load_acquire",
+    "store_release",
+    "make_mcm",
+]

@@ -1,0 +1,295 @@
+"""Windowed core timing model.
+
+A :class:`Core` executes one :class:`~repro.cpu.isa.ThreadProgram`
+against an L1 cache controller.  It models the parts of an
+out-of-order pipeline that matter for consistency and coherence
+behaviour:
+
+- a bounded instruction window (ROB) of in-flight memory ops,
+- an MCM engine (:mod:`repro.cpu.mcm`) gating when each op may issue,
+- a store buffer with configurable drain parallelism (1 for TSO's FIFO
+  buffer, several for weak models) and store-to-load forwarding,
+- per-op compute gaps to pace workload traffic.
+
+The L1 interface is a single method::
+
+    l1.core_request(kind, addr, value, callback)  # callback(read_value)
+
+which the L1 answers after the appropriate hit/coherence latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cpu.isa import FENCE, LOAD, LOAD_ACQ, RMW, STORE, STORE_REL, ThreadProgram
+from repro.cpu.mcm import DONE, ISSUED, PEND, RETIRED, SCHED, make_mcm
+from repro.sim.engine import Engine
+
+
+@dataclass
+class SBEntry:
+    """A store sitting in the store buffer."""
+
+    op_index: int
+    addr: int
+    value: int
+    kind: str  # STORE or STORE_REL (RCC release must reach the cache as such)
+    draining: bool = False
+    prefetched: bool = False
+
+
+class Core:
+    """Drives a thread program; owned by a cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: str,
+        mcm_name: str,
+        window: int = 8,
+        sb_entries: int = 16,
+        cycle: int = 500,
+    ) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.mcm = make_mcm(mcm_name)
+        self.window = window
+        self.sb_entries = sb_entries
+        self.cycle = cycle
+        self.l1 = None  # attached by the cluster builder
+
+        self.ops = []
+        self.status: list[int] = []
+        self.regs: dict[str, int] = {}
+        self.sb: list[SBEntry] = []
+        self._prefetched: set[int] = set()
+        self._head_ptr = 0
+        self._done_ptr = 0
+        self._on_done: Callable[[int], None] | None = None
+        self._scan_pending = False
+        self.finish_time: int | None = None
+        self.ops_retired = 0
+
+    # ------------------------------------------------------------------
+    # Program control.
+    # ------------------------------------------------------------------
+    def run_program(self, thread: ThreadProgram, on_done: Callable[[int], None]) -> None:
+        """Start executing ``thread``; ``on_done(finish_time)`` fires at completion."""
+        thread.validate()
+        self.ops = thread.ops
+        self.status = [PEND] * len(self.ops)
+        self.regs = {}
+        self.sb = []
+        self._prefetched = set()
+        self._head_ptr = 0
+        self._done_ptr = 0
+        self._on_done = on_done
+        self.finish_time = None
+        if not self.ops:
+            self.engine.schedule(0, self._finish)
+            return
+        self._request_scan()
+
+    def _finish(self) -> None:
+        self.finish_time = self.engine.now
+        if self._on_done is not None:
+            self._on_done(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Issue logic.
+    # ------------------------------------------------------------------
+    def _request_scan(self) -> None:
+        if not self._scan_pending:
+            self._scan_pending = True
+            self.engine.schedule(0, self._scan)
+
+    def _head(self) -> int:
+        # Monotone: statuses only ever increase, so resume the scan.
+        i = self._head_ptr
+        status = self.status
+        n = len(status)
+        while i < n and status[i] >= RETIRED:
+            i += 1
+        self._head_ptr = i
+        return i
+
+    # -- ordering-scan bases used by the MCM engines -------------------
+    def retired_base(self) -> int:
+        """First index not yet >= RETIRED.  Ops before it have all
+        loads/fences/RMWs DONE and all stores at least buffered -- the
+        exact precondition the TSO retire rule and the WEAK prior-op
+        scans check, so the engines may start scanning here."""
+        return self._head()
+
+    def done_base(self) -> int:
+        """First index not yet DONE (<= retired_base: buffered stores)."""
+        i = self._done_ptr
+        status = self.status
+        n = len(status)
+        while i < n and status[i] == DONE:
+            i += 1
+        self._done_ptr = i
+        return i
+
+    def _scan(self) -> None:
+        self._scan_pending = False
+        progress = True
+        while progress:
+            progress = False
+            head = self._head()
+            if head == len(self.ops):
+                if not self.sb and all(s == DONE for s in self.status):
+                    if self.finish_time is None:
+                        self._finish()
+                    return
+            limit = min(len(self.ops), head + self.window)
+            for i in range(head, limit):
+                if self.status[i] != PEND:
+                    continue
+                op = self.ops[i]
+                if op.kind == FENCE:
+                    if self.mcm.fence_done(i, self):
+                        self.status[i] = DONE
+                        progress = True
+                    continue
+                if not self.mcm.can_issue(i, self):
+                    continue
+                if op.is_write and self.mcm.uses_store_buffer and op.kind != RMW:
+                    if len(self.sb) >= self.sb_entries:
+                        continue
+                if op.gap > 0:
+                    self.status[i] = SCHED
+                    self.engine.schedule(op.gap * self.cycle, self._issue, i)
+                else:
+                    self._issue(i)
+                progress = True
+        self._prefetch_window()
+        self._drain_sb()
+
+    def _prefetch_window(self) -> None:
+        """Non-binding prefetches for ordering-stalled window ops.
+
+        Models speculative execution and hardware prefetching: the miss
+        latency of a load/store that the MCM will not let issue yet is
+        overlapped, while its architectural effect still happens in
+        order (the later real access re-checks the cache and re-misses
+        if the line was stolen in between -- exactly an x86 squash).
+        """
+        head = self._head()
+        for i in range(head, min(len(self.ops), head + self.window)):
+            if self.status[i] != PEND or i in self._prefetched:
+                continue
+            op = self.ops[i]
+            if op.kind == FENCE:
+                continue
+            if op.is_write and self.mcm.sb_parallelism == 1:
+                # TSO: store-miss overlap is bounded by the FIFO store
+                # buffer's own ownership prefetches, not the window.
+                continue
+            if any(self.status[d] != DONE for d in op.deps):
+                continue
+            self._prefetched.add(i)
+            kind = "PREFETCH_M" if op.is_write else "PREFETCH_S"
+            if self.l1.would_hit(op.kind, op.addr):
+                continue
+            self.l1.core_request(kind, op.addr, 0, lambda _v: None)
+
+    def _issue(self, i: int) -> None:
+        op = self.ops[i]
+        if op.kind in (STORE, STORE_REL) and self.mcm.uses_store_buffer:
+            # Retire into the store buffer; globally performed later.
+            self.status[i] = RETIRED
+            self.sb.append(SBEntry(i, op.addr, op.value, op.kind))
+            self.ops_retired += 1
+            self._drain_sb()
+            self._request_scan()
+            return
+        self.status[i] = ISSUED
+        if op.kind in (LOAD, LOAD_ACQ):
+            forwarded = self._forward_value(i, op.addr)
+            if forwarded is not None and op.kind == LOAD:
+                self.engine.schedule(self.cycle, self._complete, i, forwarded)
+                return
+        self.l1.core_request(op.kind, op.addr, op.value, lambda v, i=i: self._complete(i, v))
+
+    def _forward_value(self, i: int, addr: int) -> int | None:
+        """Store-to-load forwarding from the youngest older SB entry."""
+        for entry in reversed(self.sb):
+            if entry.addr == addr and entry.op_index < i:
+                return entry.value
+        return None
+
+    def _complete(self, i: int, value) -> None:
+        op = self.ops[i]
+        if op.reg is not None and value is not None:
+            self.regs[op.reg] = value
+        if self.status[i] != RETIRED:
+            self.ops_retired += 1
+        self.status[i] = DONE
+        self._request_scan()
+
+    # ------------------------------------------------------------------
+    # Store buffer drain.
+    # ------------------------------------------------------------------
+    #: How many younger store-buffer entries get an ownership prefetch
+    #: (RFO) while the head drains.  Real TSO cores overlap store-miss
+    #: latency this way while still *committing* writes in order.
+    PREFETCH_DEPTH = 3
+
+    def _drain_sb(self) -> None:
+        inflight = sum(1 for e in self.sb if e.draining)
+        for pos, entry in enumerate(self.sb):
+            if inflight >= self.mcm.sb_parallelism:
+                break
+            if entry.draining:
+                continue
+            if any(earlier.addr == entry.addr for earlier in self.sb[:pos]):
+                continue  # per-address FIFO: wait until the older store leaves
+            if self.mcm.sb_parallelism == 1 and pos != _first_undrained(self.sb):
+                continue  # strict FIFO (TSO)
+            entry.draining = True
+            inflight += 1
+            self.l1.core_request(
+                entry.kind,
+                entry.addr,
+                entry.value,
+                lambda _v, e=entry: self._store_performed(e),
+            )
+        # Overlap upcoming store misses: ownership prefetches for the
+        # next few distinct lines (no ordering effect -- commits above
+        # still happen strictly in drain order).
+        prefetched = 0
+        seen: set[int] = set()
+        for entry in self.sb:
+            if prefetched >= self.PREFETCH_DEPTH:
+                break
+            if entry.addr in seen:
+                continue
+            seen.add(entry.addr)
+            if entry.draining or entry.prefetched:
+                continue
+            entry.prefetched = True
+            prefetched += 1
+            self.l1.core_request("PREFETCH_M", entry.addr, 0, lambda _v: None)
+
+    def _store_performed(self, entry: SBEntry) -> None:
+        self.sb.remove(entry)
+        self.status[entry.op_index] = DONE
+        self._request_scan()
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """True once the current program has fully completed."""
+        return self.finish_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Core {self.core_id} mcm={self.mcm.name}>"
+
+
+def _first_undrained(sb: list[SBEntry]) -> int:
+    for pos, entry in enumerate(sb):
+        if not entry.draining:
+            return pos
+    return -1

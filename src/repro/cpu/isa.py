@@ -1,0 +1,142 @@
+"""Architecture-neutral memory micro-ops and thread programs.
+
+A thread program is a straight-line sequence of :class:`Op`.  This is
+the same abstraction herd7 litmus tests and the paper's workload traces
+use: coherence and consistency behaviour is entirely determined by the
+sequence of memory operations, fences and their dependencies.
+
+Op kinds
+--------
+``LOAD``       read a line, write the result to ``reg``.
+``STORE``      write ``value`` to a line.
+``RMW``        atomic fetch-add (``value`` is the addend); sequentially
+               consistent semantics on every MCM (models lock/atomic ops).
+``FENCE``      ordering barrier; ``fence_kind`` selects strength:
+               ``FULL`` (dmb sy / mfence), ``ST`` (dmb st, store-store),
+               ``LD`` (dmb ld, load-load/load-store).
+``LOAD_ACQ``   load-acquire: later ops wait for it (and it triggers RCC
+               self-invalidation on RCC clusters).
+``STORE_REL``  store-release: waits for all prior ops (and flushes RCC
+               write-throughs).
+
+``deps`` lists indices of earlier ops whose results feed this op
+(address/data dependencies); weak MCMs respect them even without fences.
+``gap`` is non-memory compute time (in cycles) charged before the op
+becomes eligible, used by the workload generators to pace traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LOAD = "LOAD"
+STORE = "STORE"
+RMW = "RMW"
+FENCE = "FENCE"
+LOAD_ACQ = "LOAD_ACQ"
+STORE_REL = "STORE_REL"
+
+FENCE_FULL = "FULL"
+FENCE_ST = "ST"
+FENCE_LD = "LD"
+
+OP_KINDS = {LOAD, STORE, RMW, FENCE, LOAD_ACQ, STORE_REL}
+FENCE_KINDS = {FENCE_FULL, FENCE_ST, FENCE_LD}
+
+#: Kinds that read memory / write memory.
+READS = {LOAD, LOAD_ACQ, RMW}
+WRITES = {STORE, STORE_REL, RMW}
+
+
+@dataclass(slots=True)
+class Op:
+    """One memory micro-op of a thread program."""
+
+    kind: str
+    addr: int = 0
+    value: int = 0
+    reg: str | None = None
+    fence_kind: str = FENCE_FULL
+    deps: tuple[int, ...] = ()
+    gap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind == FENCE and self.fence_kind not in FENCE_KINDS:
+            raise ValueError(f"unknown fence kind {self.fence_kind!r}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in READS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITES
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == FENCE
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == FENCE:
+            return f"FENCE.{self.fence_kind}"
+        reg = f" -> {self.reg}" if self.reg else ""
+        val = f" = {self.value}" if self.is_write else ""
+        return f"{self.kind}[0x{self.addr:x}]{val}{reg}"
+
+
+def load(addr: int, reg: str | None = None, deps: tuple[int, ...] = (), gap: int = 0) -> Op:
+    """Build a LOAD micro-op (result written to ``reg``)."""
+    return Op(LOAD, addr=addr, reg=reg, deps=deps, gap=gap)
+
+
+def store(addr: int, value: int, deps: tuple[int, ...] = (), gap: int = 0) -> Op:
+    """Build a STORE micro-op."""
+    return Op(STORE, addr=addr, value=value, deps=deps, gap=gap)
+
+
+def rmw(addr: int, addend: int = 1, reg: str | None = None, gap: int = 0) -> Op:
+    """Build an atomic fetch-add micro-op (old value to ``reg``)."""
+    return Op(RMW, addr=addr, value=addend, reg=reg, gap=gap)
+
+
+def fence(kind: str = FENCE_FULL) -> Op:
+    """Build a fence of the given strength (FULL/ST/LD)."""
+    return Op(FENCE, fence_kind=kind)
+
+
+def load_acquire(addr: int, reg: str | None = None, gap: int = 0) -> Op:
+    """Build a load-acquire micro-op."""
+    return Op(LOAD_ACQ, addr=addr, reg=reg, gap=gap)
+
+
+def store_release(addr: int, value: int, gap: int = 0) -> Op:
+    """Build a store-release micro-op."""
+    return Op(STORE_REL, addr=addr, value=value, gap=gap)
+
+
+@dataclass
+class ThreadProgram:
+    """A straight-line program for one hardware thread."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: Op) -> "ThreadProgram":
+        """Append an op and return self (builder style)."""
+        self.ops.append(op)
+        return self
+
+    def validate(self) -> None:
+        """Check dependency indices are backwards-only and in range."""
+        for i, op in enumerate(self.ops):
+            for dep in op.deps:
+                if not 0 <= dep < i:
+                    raise ValueError(
+                        f"{self.name}: op {i} depends on {dep}, "
+                        "which is not an earlier op"
+                    )

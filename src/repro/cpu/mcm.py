@@ -1,0 +1,238 @@
+"""Memory-consistency-model engines.
+
+An engine answers two questions for the core model:
+
+- ``can_issue(i, core)`` -- may op ``i`` leave the instruction window now?
+- ``fence_done(i, core)`` -- has fence op ``i``'s ordering condition been
+  satisfied (a fence completes without touching memory)?
+
+plus two store-buffer parameters (``uses_store_buffer`` and
+``sb_parallelism``).  Op statuses live on the core: ``PEND`` (0),
+``SCHED`` (1, waiting out its compute gap), ``ISSUED`` (2, in the memory
+system), ``RETIRED`` (3, a store sitting in the store buffer) and
+``DONE`` (4, globally performed).
+
+The engines implement the models the paper simulates with gem5's
+``needsTSO`` flag:
+
+``SC``
+    every op waits for all program-order predecessors to complete.
+
+``TSO`` (x86)
+    loads are performed in program order; stores retire in order into a
+    FIFO store buffer that drains one entry at a time, so loads may
+    complete ahead of older stores (store-load reordering) with
+    store-to-load forwarding from the buffer; MFENCE/RMW drain the
+    buffer.
+
+``WEAK`` (Arm)
+    ops issue out of order constrained only by data/address
+    dependencies, same-address coherence order, fences (full / ld / st)
+    and acquire/release semantics; the store buffer drains several
+    entries in parallel.
+
+``RCC``
+    WEAK ordering; the acquire/release ops additionally trigger
+    self-invalidation/write-flush flows in the RCC cache hierarchy
+    (handled by the RCC L1 controller, not here).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import (
+    FENCE,
+    FENCE_FULL,
+    FENCE_LD,
+    FENCE_ST,
+    LOAD,
+    LOAD_ACQ,
+    RMW,
+    STORE,
+    STORE_REL,
+    Op,
+)
+
+PEND = 0
+SCHED = 1
+ISSUED = 2
+RETIRED = 3
+DONE = 4
+
+
+class MCMEngine:
+    """Base class; subclasses override the ordering predicates."""
+
+    name = "base"
+    uses_store_buffer = True
+    sb_parallelism = 1
+
+    def can_issue(self, i: int, core) -> bool:
+        """May op ``i`` leave the instruction window now?"""
+        raise NotImplementedError
+
+    def fence_done(self, i: int, core) -> bool:
+        """Has fence ``i``'s ordering condition been satisfied?"""
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+    # The scans below start at the core's monotone base pointers: every
+    # op before ``done_base()`` is DONE, and every op before
+    # ``retired_base()`` already satisfies "reads DONE, writes at least
+    # buffered" (only stores can sit in RETIRED).  The timing core
+    # provides the pointers; abstract adapters may return 0.
+
+    @staticmethod
+    def _deps_done(op: Op, core) -> bool:
+        return all(core.status[d] == DONE for d in op.deps)
+
+    @staticmethod
+    def _all_prior_done(i: int, core) -> bool:
+        start = core.done_base() if hasattr(core, "done_base") else 0
+        return all(core.status[j] == DONE for j in range(start, i))
+
+    @staticmethod
+    def _prior_reads_done_writes_retired(i: int, core) -> bool:
+        """TSO retire condition: loads performed, stores at least buffered."""
+        start = core.retired_base() if hasattr(core, "retired_base") else 0
+        for j in range(start, i):
+            op = core.ops[j]
+            if op.is_write and op.kind != RMW:
+                if core.status[j] < RETIRED:
+                    return False
+            elif core.status[j] != DONE:
+                return False
+        return True
+
+
+class SCEngine(MCMEngine):
+    """Sequential consistency: fully serial, no store buffer."""
+
+    name = "SC"
+    uses_store_buffer = False
+
+    def can_issue(self, i: int, core) -> bool:
+        return self._all_prior_done(i, core)
+
+    def fence_done(self, i: int, core) -> bool:
+        return self._all_prior_done(i, core)
+
+
+class TSOEngine(MCMEngine):
+    """x86-TSO: in-order loads, FIFO store buffer, store-load reordering."""
+
+    name = "TSO"
+    uses_store_buffer = True
+    sb_parallelism = 1
+
+    def can_issue(self, i: int, core) -> bool:
+        op = core.ops[i]
+        if not self._deps_done(op, core):
+            return False
+        if op.kind in (LOAD, LOAD_ACQ, STORE, STORE_REL):
+            # Loads perform in order; stores retire in order behind them.
+            return self._prior_reads_done_writes_retired(i, core)
+        if op.kind == RMW:
+            # Atomic ops drain the store buffer and serialize.
+            return self._all_prior_done(i, core)
+        if op.kind == FENCE:
+            return True  # fences complete via fence_done
+        raise AssertionError(op.kind)
+
+    def fence_done(self, i: int, core) -> bool:
+        op = core.ops[i]
+        if op.fence_kind == FENCE_FULL:
+            # MFENCE: everything performed, store buffer drained.
+            return self._all_prior_done(i, core)
+        # dmb st / dmb ld are no-ops under TSO: the model already
+        # provides those orderings.
+        return self._prior_reads_done_writes_retired(i, core)
+
+
+class WeakEngine(MCMEngine):
+    """Arm-style weak ordering with dependencies, fences, acq/rel."""
+
+    name = "WEAK"
+    uses_store_buffer = True
+    sb_parallelism = 8
+
+    def can_issue(self, i: int, core) -> bool:
+        op = core.ops[i]
+        if not self._deps_done(op, core):
+            return False
+        # Ops before retired_base: fences/acquires/RMWs/reads are DONE
+        # and writes >= RETIRED -- every constraint below is satisfied.
+        start = core.retired_base() if hasattr(core, "retired_base") else 0
+        for j in range(start, i):
+            prior = core.ops[j]
+            status = core.status[j]
+            if prior.kind == FENCE:
+                if prior.fence_kind == FENCE_FULL and status != DONE:
+                    return False
+                if prior.fence_kind == FENCE_LD and status != DONE:
+                    # dmb ld orders prior loads with all later ops.
+                    return False
+                if (
+                    prior.fence_kind == FENCE_ST
+                    and op.is_write
+                    and status != DONE
+                ):
+                    return False
+            elif prior.kind in (LOAD_ACQ, RMW) and status != DONE:
+                # Acquire (and acquire-flavoured atomics): no later op
+                # may perform before it.
+                return False
+            elif prior.addr == op.addr and not prior.is_fence:
+                # Same-address (coherence) order: prior reads must be
+                # done; prior writes must at least be buffered (loads
+                # then forward from the store buffer).
+                if prior.is_read and status != DONE:
+                    return False
+                if prior.is_write and status < RETIRED:
+                    return False
+        if op.kind == STORE_REL:
+            # Release: all prior ops performed.
+            return self._all_prior_done(i, core)
+        # RMW on weak models is acquire-flavoured (ldaxr/stxr): it needs
+        # no drain of prior ops, unlike x86's fully-fencing locked ops.
+        return True
+
+    def fence_done(self, i: int, core) -> bool:
+        op = core.ops[i]
+        if op.fence_kind == FENCE_FULL:
+            return self._all_prior_done(i, core)
+        start = core.done_base() if hasattr(core, "done_base") else 0
+        if op.fence_kind == FENCE_ST:
+            return all(
+                core.status[j] == DONE
+                for j in range(start, i)
+                if core.ops[j].is_write
+            )
+        if op.fence_kind == FENCE_LD:
+            return all(
+                core.status[j] == DONE
+                for j in range(start, i)
+                if core.ops[j].is_read
+            )
+        raise AssertionError(op.fence_kind)
+
+
+class RCCEngine(WeakEngine):
+    """Release-consistency cores: WEAK ordering; sync ops hit the RCC cache."""
+
+    name = "RCC"
+
+
+_ENGINES = {
+    "SC": SCEngine,
+    "TSO": TSOEngine,
+    "WEAK": WeakEngine,
+    "RCC": RCCEngine,
+}
+
+
+def make_mcm(name: str) -> MCMEngine:
+    """Instantiate the MCM engine for ``name`` (SC/TSO/WEAK/RCC)."""
+    try:
+        return _ENGINES[name]()
+    except KeyError:
+        raise ValueError(f"unknown MCM {name!r}") from None

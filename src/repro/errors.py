@@ -1,0 +1,14 @@
+"""Package-wide error types."""
+
+
+class ProtocolError(RuntimeError):
+    """An impossible coherence transition was attempted.
+
+    Raised eagerly by controllers when a message arrives in a state the
+    protocol says cannot occur -- turning silent corruption into loud
+    failures the verification harness can catch.
+    """
+
+
+class ConsistencyViolation(AssertionError):
+    """An invariant monitor observed a violation (SWMR, value, inclusion)."""

@@ -1,0 +1,21 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.harness.experiments import (
+    run_workload,
+    figure9,
+    figure10,
+    figure11,
+    table4,
+)
+from repro.harness.tables import table1, table2, table3
+
+__all__ = [
+    "run_workload",
+    "figure9",
+    "figure10",
+    "figure11",
+    "table4",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,60 @@
+"""Tables I-III of the paper, regenerated from the implementation."""
+
+from __future__ import annotations
+
+from repro.core.generator import generate
+from repro.core.translation import format_table
+from repro.protocols.messages import CXL_MESSAGE_EQUIVALENCE
+from repro.sim.config import SystemConfig
+
+
+def table1() -> str:
+    """Table I: CXL.mem messages and their MESI equivalents."""
+    lines = ["Table I: CXL.mem coherence messages and MESI equivalents",
+             f"{'Message':<12}{'Dir.':<6}{'MESI Eq.':<10}Description"]
+    for message, direction, mesi, description in CXL_MESSAGE_EQUIVALENCE:
+        lines.append(f"{message:<12}{direction:<6}{mesi:<10}{description}")
+    return "\n".join(lines)
+
+
+def table2(local: str = "MESI", global_: str = "CXL", paper_fragment: bool = True) -> str:
+    """Table II: the generated C3 translation table.
+
+    With ``paper_fragment`` only the rows for incoming CXL-directory
+    messages in owner states are shown -- the fragment printed in the
+    paper; otherwise the full table is emitted.
+    """
+    compound = generate(local, global_)
+    rows = compound.rows
+    if paper_fragment:
+        rows = [row for row in rows
+                if row.message.startswith("BISnp") and row.state[1] == "M"]
+    title = f"Table II: C3 translation table fragment ({compound.name})"
+    return format_table(rows, title=title)
+
+
+def table3(config: SystemConfig | None = None) -> str:
+    """Table III: the simulated system parameters."""
+    config = config or SystemConfig()
+    cluster = config.clusters[0]
+    rows = [
+        ("Cores", f"{config.total_cores} cores, {config.freq_ghz:g} GHz, "
+                  f"window {config.core_window}, SB {config.store_buffer_entries}"),
+        ("L1 cache", f"{cluster.l1_bytes // 1024} KiB, {cluster.l1_assoc}-way, "
+                     f"private, LRU, {cluster.l1_latency_cycles}-cycle latency"),
+        ("LLC / CXL$", f"{cluster.llc_bytes // (1024 * 1024)} MiB, "
+                       f"{cluster.llc_assoc}-way, shared, inclusive, LRU"),
+        ("Intra-cluster", f"point-to-point, {config.intra_flit_bytes} B flits, "
+                          f"{config.intra_router_cycles}-cycle router, "
+                          f"{config.intra_link_cycles}-cycle links"),
+        ("Cross-cluster", f"star, {config.cross_flit_bytes} B flits, "
+                          f"{config.cross_router_cycles}-cycle router, "
+                          f"{config.cross_link_ns:g} ns links, "
+                          f"{config.cross_jitter_ns:g} ns jitter"),
+        ("CXL memory", f"DDR5, 1 channel, {config.mem_latency_ns:g} ns latency"),
+        ("Protocols", f"{config.combo_name}"),
+    ]
+    width = max(len(name) for name, _ in rows) + 2
+    lines = ["Table III: simulated system parameters"]
+    lines += [f"{name:<{width}}{value}" for name, value in rows]
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Coherence protocol engines.
+
+- :mod:`repro.protocols.messages` -- the message vocabulary shared by all
+  protocol engines and the virtual-network assignment of each message.
+- :mod:`repro.protocols.local` -- the directory side of the MESI-family
+  intra-cluster protocols (MESI, MESIF, MOESI) and RCC.
+- :mod:`repro.protocols.global_mesi` -- the hierarchical global MESI
+  baseline (peer-to-peer forwarding, pipelining directory).
+- :mod:`repro.protocols.cxl_mem` -- CXL.mem 3.0: the device coherency
+  engine (DCOH) directory and the host-side flows, including the
+  BIConflict/BIConflictAck conflict-resolution handshake.
+"""
+
+from repro.protocols.messages import Message, VNET_REQ, VNET_FWD, VNET_RESP
+
+__all__ = ["Message", "VNET_REQ", "VNET_FWD", "VNET_RESP"]

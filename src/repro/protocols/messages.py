@@ -1,0 +1,183 @@
+"""Message vocabulary for every protocol engine in the package.
+
+Three virtual networks keep the protocols deadlock-free, exactly as in
+gem5's Ruby configurations:
+
+- ``VNET_REQ``  -- requests travelling *towards* a directory
+  (GetS/GetM/Put*, MemRd/MemWr, BIConflict).
+- ``VNET_FWD``  -- forwards/snoops travelling *away* from a directory
+  (Fwd-GetS/Fwd-GetM/Inv, BISnpInv/BISnpData).
+- ``VNET_RESP`` -- responses and completions (Data, acks, Cmp*,
+  BIConflictAck).
+
+Delivery is FIFO per ``(src, dst, vnet)`` channel.  Messages on
+*different* virtual networks may overtake each other -- that property is
+what produces the CXL races of Fig. 2 and is why ``BIConflictAck``
+travels on the response network: the CXL specification guarantees it
+cannot be reordered with completion messages, and a FIFO response
+channel provides exactly that guarantee.
+
+Table I of the paper (most relevant CXL.mem messages and their MESI
+equivalents) is encoded in :data:`CXL_MESSAGE_EQUIVALENCE`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+VNET_REQ = 0
+VNET_FWD = 1
+VNET_RESP = 2
+
+VNET_NAMES = {VNET_REQ: "req", VNET_FWD: "fwd", VNET_RESP: "resp"}
+
+_msg_counter = itertools.count()
+
+# ---------------------------------------------------------------------------
+# Message kinds.
+# ---------------------------------------------------------------------------
+
+# Intra-cluster (MESI-family) requests, forwards, responses.
+GETS = "GetS"
+GETM = "GetM"
+PUTS = "PutS"
+PUTE = "PutE"
+PUTM = "PutM"
+PUTO = "PutO"
+FWD_GETS = "Fwd-GetS"
+FWD_GETM = "Fwd-GetM"
+INV = "Inv"
+DATA = "Data"  # data grant from directory (carries grant state + ack count)
+DATA_OWNER = "DataOwner"  # cache-to-cache data from an owner/forwarder
+INV_ACK = "Inv-Ack"
+PUT_ACK = "Put-Ack"
+#: Requester -> directory after consuming a GetM grant (gem5's Unblock):
+#: the directory keeps the line busy until the new owner has actually
+#: filled, so a later snoop's recall cannot race the in-flight grant.
+UNBLOCK = "Unblock"
+OWNER_ACK = "OwnerAck"  # owner notifies directory a forward was serviced
+WB_DATA = "WBData"  # owner writes data back to the directory
+
+# RCC local messages.
+RCC_READ = "RccRead"  # read-through fill request to the cluster cache
+RCC_WRITE = "RccWrite"  # write-through to the cluster cache
+RCC_DATA = "RccData"
+RCC_WRITE_ACK = "RccWriteAck"
+RCC_ACQUIRE = "RccAcquire"  # load-acquire synchronization at the cluster cache
+RCC_RELEASE = "RccRelease"  # store-release synchronization
+RCC_SYNC_ACK = "RccSyncAck"
+
+# CXL.mem (host <-> DCOH).  Meta values ride in Message.meta.
+MEM_RD = "MemRd"  # meta: "A" (exclusive) or "S" (shared)
+MEM_WR = "MemWr"  # meta: "I" (writeback+drop) or "S" (writeback+retain)
+CMP = "Cmp"  # writeback completion
+CMP_E = "Cmp-E"  # read completion granting E
+CMP_S = "Cmp-S"  # read completion granting S
+CMP_M = "Cmp-M"  # read completion granting M
+BI_SNP_INV = "BISnpInv"
+BI_SNP_DATA = "BISnpData"
+BI_RSP_I = "BIRspI"  # snoop response: host now Invalid
+BI_RSP_S = "BIRspS"  # snoop response: host retains Shared
+BI_CONFLICT = "BIConflict"
+BI_CONFLICT_ACK = "BIConflictAck"
+
+#: Table I -- most relevant CXL.mem coherence messages, their direction
+#: (M2S = host to device, S2M = device to host) and MESI equivalents.
+CXL_MESSAGE_EQUIVALENCE = (
+    ("MemRd, A", "M2S", "GetM", "Read memory and acquire exclusive ownership"),
+    ("MemRd, S", "M2S", "GetS", "Read memory and acquire sharable copy"),
+    ("MemWr, I", "M2S", "WB+PutX", "Writeback, do not keep cachable copy"),
+    ("MemWr, S", "M2S", "WB", "Writeback, retain current copy and state"),
+    ("BISnpData", "S2M", "Fwd-GetS", "Device requests sharable copy from host"),
+    ("BISnpInv", "S2M", "Fwd-GetM", "Device requests exclusive cachable copy"),
+)
+
+#: Virtual-network assignment per message kind.
+MESSAGE_VNET = {
+    GETS: VNET_REQ,
+    GETM: VNET_REQ,
+    PUTS: VNET_REQ,
+    PUTE: VNET_REQ,
+    PUTM: VNET_REQ,
+    PUTO: VNET_REQ,
+    RCC_READ: VNET_REQ,
+    RCC_WRITE: VNET_REQ,
+    RCC_ACQUIRE: VNET_REQ,
+    RCC_RELEASE: VNET_REQ,
+    MEM_RD: VNET_REQ,
+    MEM_WR: VNET_REQ,
+    BI_CONFLICT: VNET_REQ,
+    FWD_GETS: VNET_FWD,
+    FWD_GETM: VNET_FWD,
+    INV: VNET_FWD,
+    BI_SNP_INV: VNET_FWD,
+    BI_SNP_DATA: VNET_FWD,
+    # Put-Ack rides the *forward* network: the ack for an eviction must
+    # not overtake a forward the directory serialized before the Put,
+    # or the evicting cache would tear the line down while an
+    # in-flight Fwd-GetS/GetM still needs its data.
+    PUT_ACK: VNET_FWD,
+    DATA: VNET_RESP,
+    DATA_OWNER: VNET_RESP,
+    INV_ACK: VNET_RESP,
+    UNBLOCK: VNET_RESP,
+    OWNER_ACK: VNET_RESP,
+    WB_DATA: VNET_RESP,
+    RCC_DATA: VNET_RESP,
+    RCC_WRITE_ACK: VNET_RESP,
+    RCC_SYNC_ACK: VNET_RESP,
+    CMP: VNET_RESP,
+    CMP_E: VNET_RESP,
+    CMP_S: VNET_RESP,
+    CMP_M: VNET_RESP,
+    BI_RSP_I: VNET_RESP,
+    BI_RSP_S: VNET_RESP,
+    BI_CONFLICT_ACK: VNET_RESP,
+}
+
+#: Message size in bytes: control messages are one header, data messages
+#: carry a 64-byte line.
+_DATA_KINDS = {DATA, DATA_OWNER, WB_DATA, RCC_DATA, MEM_WR, CMP_E, CMP_S, CMP_M}
+CONTROL_BYTES = 8
+DATA_BYTES = 72
+
+
+def message_bytes(kind: str) -> int:
+    """Wire size of a message of the given kind."""
+    return DATA_BYTES if kind in _DATA_KINDS else CONTROL_BYTES
+
+
+@dataclass(slots=True)
+class Message:
+    """A coherence message in flight.
+
+    ``meta`` carries the CXL meta value ("A"/"S"/"I") or a grant state;
+    ``data`` the 64-byte line modelled as a single integer value;
+    ``acks`` an expected-ack count; ``extra`` anything protocol-specific
+    (e.g. the requester a forward should reply to).
+    """
+
+    kind: str
+    addr: int
+    src: str
+    dst: str
+    meta: str | None = None
+    data: int | None = None
+    acks: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_msg_counter))
+
+    @property
+    def vnet(self) -> int:
+        return MESSAGE_VNET[self.kind]
+
+    @property
+    def size(self) -> int:
+        return message_bytes(self.kind)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        meta = f",{self.meta}" if self.meta else ""
+        data = f" data={self.data}" if self.data is not None else ""
+        return f"{self.kind}{meta}(0x{self.addr:x}) {self.src}->{self.dst}{data}"

@@ -1,0 +1,106 @@
+"""Set-associative cache arrays with LRU replacement.
+
+Addresses throughout the simulator are *line* addresses (one integer per
+64-byte coherence unit), so the array maps a line address to a
+:class:`CacheLine` holding the protocol state and the line's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.config import LINE_BYTES
+
+
+@dataclass
+class CacheLine:
+    """One cache line: protocol state, value, and protocol scratch space."""
+
+    addr: int
+    state: str = "I"
+    data: int | None = None
+    dirty: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class CacheArray:
+    """A set-associative array of :class:`CacheLine` with per-set LRU.
+
+    Lines in transient states (or otherwise pinned by an in-flight
+    transaction) are never chosen as victims; ``victim_for`` returns
+    ``None`` when every way of the target set is pinned, in which case
+    the controller must retry after an outstanding transaction drains.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int) -> None:
+        if size_bytes % (assoc * LINE_BYTES):
+            raise ValueError("cache size must be a multiple of assoc * line size")
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * LINE_BYTES)
+        # Each set is an LRU-ordered dict: oldest first.
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
+
+    def _set_for(self, addr: int) -> dict[int, CacheLine]:
+        return self._sets[addr % self.num_sets]
+
+    def lookup(self, addr: int, touch: bool = True) -> CacheLine | None:
+        """Return the line if present; optionally refresh its LRU position."""
+        cache_set = self._set_for(addr)
+        line = cache_set.get(addr)
+        if line is not None and touch:
+            del cache_set[addr]
+            cache_set[addr] = line
+        return line
+
+    def peek(self, addr: int) -> CacheLine | None:
+        """Lookup without LRU side effects."""
+        return self._set_for(addr).get(addr)
+
+    def has_room(self, addr: int) -> bool:
+        """Whether ``addr``'s set has a free way."""
+        return len(self._set_for(addr)) < self.assoc
+
+    def victim_for(self, addr: int, pinned: set[str] | None = None) -> CacheLine | None:
+        """Choose the LRU victim in ``addr``'s set.
+
+        ``pinned`` is the set of states that must not be evicted
+        (transient states).  Returns ``None`` if the set is full of
+        pinned lines.
+        """
+        cache_set = self._set_for(addr)
+        if len(cache_set) < self.assoc:
+            return None
+        pinned = pinned or set()
+        for line in cache_set.values():  # oldest first
+            if line.state not in pinned:
+                return line
+        return None
+
+    def insert(self, addr: int, state: str = "I", data: int | None = None) -> CacheLine:
+        """Allocate a line; the caller must have made room first."""
+        cache_set = self._set_for(addr)
+        if addr in cache_set:
+            raise ValueError(f"line 0x{addr:x} already present")
+        if len(cache_set) >= self.assoc:
+            raise ValueError(f"set for 0x{addr:x} is full; evict first")
+        line = CacheLine(addr=addr, state=state, data=data)
+        cache_set[addr] = line
+        return line
+
+    def remove(self, addr: int) -> CacheLine:
+        """Remove and return the line; KeyError if absent."""
+        cache_set = self._set_for(addr)
+        try:
+            return cache_set.pop(addr)
+        except KeyError:
+            raise KeyError(f"line 0x{addr:x} not present") from None
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over every resident line."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def occupancy(self) -> int:
+        """Total resident lines across all sets."""
+        return sum(len(s) for s in self._sets)

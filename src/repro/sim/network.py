@@ -1,0 +1,141 @@
+"""Interconnect model (the Garnet substitute).
+
+The network delivers :class:`~repro.protocols.messages.Message` objects
+between registered :class:`Node` endpoints over directed :class:`Link`
+channels.  Three properties matter for protocol fidelity:
+
+1. **Per-channel FIFO** -- messages on the same ``(src, dst, vnet)``
+   channel never reorder.  This is what lets ``BIConflictAck`` act as a
+   fence relative to ``Cmp*`` messages (both ride the response network).
+2. **Cross-channel reordering** -- messages on different virtual
+   networks have independent queues and (on the CXL fabric) independent
+   random jitter, so a completion on the response network can overtake
+   or be overtaken by a snoop on the forward network: the Fig. 2 races.
+3. **Latency composition** -- arrival time is
+   ``now + router + link latency + serialization + jitter`` where
+   serialization charges one link cycle per flit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.protocols.messages import Message, VNET_NAMES
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed channel between two nodes.
+
+    ``latency`` covers propagation (router + wire) in ticks;
+    ``flit_bytes`` and ``flit_cycle`` model serialization;
+    ``jitter`` is the maximum uniform random extra delay in ticks.
+    """
+
+    latency: int
+    flit_bytes: int = 72
+    flit_cycle: int = 500
+    jitter: int = 0
+
+    def serialization(self, size: int) -> int:
+        """Wire occupancy (ticks) for a message of ``size`` bytes."""
+        flits = (size + self.flit_bytes - 1) // self.flit_bytes
+        return flits * self.flit_cycle
+
+
+class Node:
+    """Base class for every message-handling component."""
+
+    def __init__(self, engine: Engine, network: "Network", node_id: str) -> None:
+        self.engine = engine
+        self.network = network
+        self.node_id = node_id
+        network.register(self)
+
+    def send(self, msg: Message) -> None:
+        """Hand a message to the interconnect."""
+        self.network.send(msg)
+
+    def handle_message(self, msg: Message) -> None:
+        """Process one delivered message (subclass hook)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.node_id}>"
+
+
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.per_vnet: dict[str, int] = {name: 0 for name in VNET_NAMES.values()}
+        self.per_kind: dict[str, int] = {}
+
+    def record(self, msg: Message) -> None:
+        """Count one sent message."""
+        self.messages += 1
+        self.bytes += msg.size
+        self.per_vnet[VNET_NAMES[msg.vnet]] += 1
+        self.per_kind[msg.kind] = self.per_kind.get(msg.kind, 0) + 1
+
+
+class Network:
+    """Message router with per-channel FIFO delivery."""
+
+    def __init__(self, engine: Engine, seed: int = 1) -> None:
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+        self._last_arrival: dict[tuple[str, str, int], int] = {}
+        self._link_busy_until: dict[tuple[str, str], int] = {}
+        self.stats = NetworkStats()
+
+    def register(self, node: Node) -> None:
+        """Register an endpoint (called by Node.__init__)."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def connect(self, src: str, dst: str, link: Link, bidirectional: bool = True) -> None:
+        """Install a link between two endpoints."""
+        self.links[(src, dst)] = link
+        if bidirectional:
+            self.links[(dst, src)] = link
+
+    def link_for(self, src: str, dst: str) -> Link:
+        """The link used for src -> dst traffic; KeyError if none."""
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src} -> {dst}") from None
+
+    def send(self, msg: Message) -> None:
+        """Schedule delivery of ``msg`` respecting per-channel FIFO order
+        and per-link bandwidth (serialization occupies the wire)."""
+        link = self.link_for(msg.src, msg.dst)
+        serialization = link.serialization(msg.size)
+        wire = (msg.src, msg.dst)
+        start = max(self.engine.now, self._link_busy_until.get(wire, 0))
+        self._link_busy_until[wire] = start + serialization
+        delay = (start - self.engine.now) + serialization + link.latency
+        if link.jitter:
+            delay += self.rng.randrange(link.jitter + 1)
+        arrival = self.engine.now + delay
+        channel = (msg.src, msg.dst, msg.vnet)
+        floor = self._last_arrival.get(channel, -1) + 1
+        if arrival < floor:
+            arrival = floor
+        self._last_arrival[channel] = arrival
+        self.stats.record(msg)
+        dst_node = self.nodes[msg.dst]
+        self.engine.schedule_at(arrival, dst_node.handle_message, msg)
+
+    def deliver_local(self, msg: Message, delay: int = 0) -> None:
+        """Deliver a message within one component (no link traversal)."""
+        dst_node = self.nodes[msg.dst]
+        self.engine.schedule(delay, dst_node.handle_message, msg)

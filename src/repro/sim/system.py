@@ -1,0 +1,216 @@
+"""System builder: assembles the full two-level simulated machine.
+
+``build_system(config)`` wires, per Table III and Fig. 5:
+
+- one :class:`~repro.cpu.core.Core` + private L1 per hardware thread,
+- one :class:`~repro.core.bridge.C3Bridge` per cluster (local directory
+  + CXL cache + global port),
+- the global home: a blocking CXL :class:`~repro.protocols.cxl_mem.Dcoh`
+  or the pipelining hierarchical-MESI directory,
+- a point-to-point intra-cluster network and a star cross-cluster
+  fabric with jitter (the source of Fig. 2 message races).
+
+``System.run_threads`` maps thread programs onto cores (optionally with
+an explicit placement), runs to completion and returns a
+:class:`~repro.stats.collectors.RunResult`.
+"""
+
+from __future__ import annotations
+
+from repro.core.bridge import C3Bridge
+from repro.core.global_port import CxlPort, MesiPort
+from repro.cpu.core import Core
+from repro.cpu.isa import ThreadProgram
+from repro.errors import ProtocolError
+from repro.protocols.cxl_mem import Dcoh
+from repro.protocols.global_mesi import GlobalMesiDir
+from repro.protocols.variants import global_variant, local_variant
+from repro.sim.config import SystemConfig, ns
+from repro.sim.engine import Engine
+from repro.sim.l1 import L1Controller, RccL1
+from repro.sim.memctrl import BackingStore, MemoryModel
+from repro.sim.network import Link, Network
+from repro.stats.collectors import OpStats, RunResult
+
+HOME_ID = "home"
+
+
+class Cluster:
+    """One compute node: cores, private L1s, and its C3 bridge."""
+
+    def __init__(self, index: int, cores, l1s, bridge) -> None:
+        self.index = index
+        self.cores = cores
+        self.l1s = l1s
+        self.bridge = bridge
+
+
+class System:
+    """A fully wired simulated machine."""
+
+    def __init__(self, config: SystemConfig, engine: Engine, network: Network,
+                 clusters: list[Cluster], home, backing: BackingStore) -> None:
+        self.config = config
+        self.engine = engine
+        self.network = network
+        self.clusters = clusters
+        self.home = home
+        self.backing = backing
+        self.cores: list[Core] = [core for c in clusters for core in c.cores]
+        self.l1s = [l1 for c in clusters for l1 in c.l1s]
+        self.monitors = []  # verification hooks called on quiescence checks
+
+    # ------------------------------------------------------------------
+    def run_threads(
+        self,
+        programs: list[ThreadProgram],
+        placement: list[int] | None = None,
+        max_events: int | None = 20_000_000,
+    ) -> RunResult:
+        """Run one program per core (by placement) until all complete."""
+        if placement is None:
+            placement = list(range(len(programs)))
+        if len(placement) != len(programs):
+            raise ValueError("placement and programs must have equal length")
+        remaining = {"count": len(programs)}
+
+        def on_done(_time, counter=remaining):
+            counter["count"] -= 1
+
+        for program, core_index in zip(programs, placement):
+            self.cores[core_index].run_program(program, on_done)
+        self.engine.run(max_events=max_events)
+        if remaining["count"] != 0:
+            raise ProtocolError(
+                f"deadlock: {remaining['count']} threads never finished "
+                f"(t={self.engine.now})"
+            )
+        stats = OpStats()
+        for l1 in self.l1s:
+            stats.merge(l1.stats)
+        exec_time = max((core.finish_time or 0) for core in self.cores)
+        return RunResult(
+            exec_time=exec_time,
+            per_core_regs=[dict(core.regs) for core in self.cores],
+            stats=stats,
+            events=self.engine.events_executed,
+            messages=self.network.stats.messages,
+        )
+
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """Every controller idle: no transaction outstanding anywhere."""
+        return (
+            all(l1.quiescent() for l1 in self.l1s)
+            and all(c.bridge.quiescent() for c in self.clusters)
+            and self.home.quiescent()
+        )
+
+    def compound_state(self, cluster: int, addr: int) -> tuple[str, str]:
+        """The (local summary, global state) pair for a line in a cluster."""
+        return self.clusters[cluster].bridge.compound_state(addr)
+
+
+def build_system(
+    config: SystemConfig,
+    policy_factory=None,
+    violate_atomicity: bool = False,
+) -> System:
+    """Construct a :class:`System` per ``config``.
+
+    ``policy_factory(local_variant, global_variant) -> BridgePolicy``
+    defaults to the generator-equivalent :class:`PermissionPolicy`.
+    """
+    engine = Engine()
+    network = Network(engine, seed=config.seed)
+    backing = BackingStore()
+    memory = MemoryModel(config)
+    cycle = config.cycle
+    if policy_factory is None:
+        # The bridge executes the policy synthesized by the generator
+        # (Rule I/II decision tables); PermissionPolicy is the hand
+        # reference it is tested against.
+        from repro.core.generator import generated_policy_factory
+
+        policy_factory = generated_policy_factory
+
+    gvariant = global_variant(config.global_protocol)
+    if config.global_protocol == "CXL":
+        home = Dcoh(engine, network, HOME_ID, memory, backing, latency=2 * cycle)
+    else:
+        home = GlobalMesiDir(engine, network, HOME_ID, memory, backing, latency=2 * cycle)
+
+    intra_link = Link(
+        latency=(config.intra_router_cycles + config.intra_link_cycles) * cycle,
+        flit_bytes=config.intra_flit_bytes,
+        flit_cycle=cycle,
+    )
+    # Star topology: one hop to the switch, one hop onwards.
+    cross_link = Link(
+        latency=2 * (config.cross_router_cycles * cycle + ns(config.cross_link_ns)),
+        flit_bytes=config.cross_flit_bytes,
+        flit_cycle=cycle,
+        jitter=ns(config.cross_jitter_ns),
+    )
+
+    clusters = []
+    bridge_ids = []
+    for ci, cluster_cfg in enumerate(config.clusters):
+        lvariant = local_variant(cluster_cfg.protocol)
+        policy = policy_factory(lvariant, gvariant)
+        bridge = C3Bridge(
+            engine,
+            network,
+            f"c3.{ci}",
+            variant=lvariant,
+            policy=policy,
+            size_bytes=cluster_cfg.llc_bytes,
+            assoc=cluster_cfg.llc_assoc,
+            latency=cluster_cfg.llc_latency_cycles * cycle,
+            violate_atomicity=violate_atomicity,
+            local_base=config.hybrid_local_base,
+            local_backing=BackingStore() if config.hybrid_local_base is not None else None,
+            local_mem_latency=ns(config.local_mem_latency_ns),
+        )
+        if config.global_protocol == "CXL":
+            bridge.port = CxlPort(bridge, HOME_ID)
+        else:
+            bridge.port = MesiPort(bridge, HOME_ID)
+        network.connect(bridge.node_id, HOME_ID, cross_link)
+        bridge_ids.append(bridge.node_id)
+
+        cores, l1s = [], []
+        for li in range(cluster_cfg.cores):
+            l1_id = f"l1.{ci}.{li}"
+            stats = OpStats()
+            if cluster_cfg.protocol == "RCC":
+                l1 = RccL1(
+                    engine, network, l1_id, bridge.node_id,
+                    size_bytes=cluster_cfg.l1_bytes, assoc=cluster_cfg.l1_assoc,
+                    hit_latency=cluster_cfg.l1_latency_cycles * cycle, stats=stats,
+                )
+            else:
+                l1 = L1Controller(
+                    engine, network, l1_id, bridge.node_id, lvariant,
+                    size_bytes=cluster_cfg.l1_bytes, assoc=cluster_cfg.l1_assoc,
+                    hit_latency=cluster_cfg.l1_latency_cycles * cycle, stats=stats,
+                )
+            bridge.local_ids.add(l1_id)
+            network.connect(l1_id, bridge.node_id, intra_link)
+            for other in l1s:
+                network.connect(l1_id, other.node_id, intra_link)
+            core = Core(
+                engine, f"core.{ci}.{li}", cluster_cfg.mcm,
+                window=config.core_window, sb_entries=config.store_buffer_entries,
+                cycle=cycle,
+            )
+            core.l1 = l1
+            cores.append(core)
+            l1s.append(l1)
+        clusters.append(Cluster(ci, cores, l1s, bridge))
+
+    # Peer links between bridges (GMESI peer-to-peer transfers).
+    for i, a in enumerate(bridge_ids):
+        for b in bridge_ids[i + 1:]:
+            network.connect(a, b, cross_link)
+    return System(config, engine, network, clusters, home, backing)

@@ -1,0 +1,5 @@
+"""Measurement collectors and reporting helpers."""
+
+from repro.stats.collectors import OpStats, RunResult, LATENCY_BINS
+
+__all__ = ["OpStats", "RunResult", "LATENCY_BINS"]

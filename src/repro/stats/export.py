@@ -1,0 +1,119 @@
+"""JSON export of run and experiment results.
+
+Makes measurements machine-consumable (plotting, regression tracking,
+cross-run diffing) without pickling simulator objects.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.stats.collectors import OpStats, RunResult
+
+
+def opstats_to_dict(stats: OpStats) -> dict:
+    """Flatten an :class:`OpStats` into plain JSON-ready data."""
+    return {
+        "ops": stats.ops,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "total_latency_ticks": stats.total_latency,
+        "miss_bins": {
+            f"{group}/{bin_name}": {"count": count, "ticks": ticks}
+            for (group, bin_name), (count, ticks) in sorted(stats.miss_bins.items())
+        },
+    }
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Flatten a :class:`RunResult` (registers included) to JSON data."""
+    return {
+        "exec_time_ticks": result.exec_time,
+        "exec_ns": result.exec_ns,
+        "events": result.events,
+        "messages": result.messages,
+        "stats": opstats_to_dict(result.stats),
+        "per_core_regs": result.per_core_regs,
+        "extra": result.extra,
+    }
+
+
+def figure_to_dict(figure) -> dict:
+    """Serialize any harness figure/table result object.
+
+    Dispatches on the attributes the result classes expose; the output
+    always carries the normalized series a plotting script needs.
+    """
+    if hasattr(figure, "times") and hasattr(figure, "workloads"):  # Fig. 10
+        return {
+            "figure": "10",
+            "combos": [list(c) for c in figure.combos],
+            "normalized": {
+                workload: {
+                    "-".join(combo): figure.normalized(workload, combo)
+                    for combo in figure.combos
+                }
+                for workload in figure.workloads
+            },
+            "geomean": {
+                "-".join(combo): figure.mean_slowdown(combo)
+                for combo in figure.combos
+            },
+        }
+    if hasattr(figure, "suites"):  # Fig. 9
+        from repro.harness.experiments import FIG9_MCMS
+
+        return {
+            "figure": "9",
+            "normalized": {
+                "-".join(combo): {
+                    suite: {
+                        label: figure.normalized(combo, label, suite)
+                        for label, _m in FIG9_MCMS
+                    }
+                    for suite in figure.suites
+                }
+                for combo in figure.combos
+            },
+        }
+    if hasattr(figure, "systems"):  # Fig. 11
+        return {
+            "figure": "11",
+            "miss_cycles": {
+                workload: {
+                    system: opstats_to_dict(figure.stats[(workload, system)])
+                    for system in figure.systems
+                }
+                for workload in figure.workloads
+            },
+            "high_latency_growth": {
+                workload: figure.high_latency_growth(workload)
+                for workload in figure.workloads
+            },
+        }
+    if hasattr(figure, "results"):  # Table IV
+        return {
+            "table": "IV",
+            "cells": {
+                "|".join(key): {
+                    "passed": result.passed,
+                    "runs": result.runs,
+                    "distinct_outcomes": len(result.observed),
+                    "allowed_outcomes": len(result.allowed),
+                }
+                for key, result in figure.results.items()
+            },
+        }
+    raise TypeError(f"unknown result object {type(figure).__name__}")
+
+
+def dump_json(obj, path) -> None:
+    """Serialize a result object (or plain dict) to a JSON file."""
+    if not isinstance(obj, dict):
+        if isinstance(obj, RunResult):
+            obj = run_result_to_dict(obj)
+        else:
+            obj = figure_to_dict(obj)
+    with open(path, "w") as handle:
+        json.dump(obj, handle, indent=2, sort_keys=True)
+        handle.write("\n")

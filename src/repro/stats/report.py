@@ -1,0 +1,53 @@
+"""Run reports: human-readable summaries of a simulated run.
+
+``render_report(system, result)`` assembles the counters scattered over
+the system (cores, L1s, bridges, ports, home, network) into one
+readable block -- what you'd want from a simulator's stats dump.
+"""
+
+from __future__ import annotations
+
+from repro.stats.collectors import LATENCY_BINS, RunResult
+
+
+def render_report(system, result: RunResult, title: str = "run report") -> str:
+    """Render a full human-readable run summary."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"execution time      : {result.exec_ns:,.0f} ns")
+    lines.append(f"events executed     : {result.events:,}")
+    lines.append(f"fabric messages     : {result.messages:,} "
+                 f"({system.network.stats.bytes:,} bytes)")
+    for vnet, count in sorted(system.network.stats.per_vnet.items()):
+        lines.append(f"  vnet {vnet:<6}       : {count:,}")
+    stats = result.stats
+    hit_rate = stats.hits / stats.ops if stats.ops else 0.0
+    lines.append(f"memory ops          : {stats.ops:,} "
+                 f"({hit_rate:.1%} L1 hit rate)")
+    for bin_name, _bound in LATENCY_BINS:
+        lines.append(
+            f"  {bin_name:>6} misses    : {stats.miss_count(bin_name=bin_name):,} "
+            f"({stats.miss_cycles(bin_name=bin_name):,} ticks)"
+        )
+    for cluster in system.clusters:
+        bridge = cluster.bridge
+        port = bridge.port
+        lines.append(
+            f"{bridge.node_id} ({bridge.variant.name:<5}): "
+            f"{bridge.local_txns:,} local txns, "
+            f"{port.requests:,} global reqs, "
+            f"{port.writebacks:,} WBs, "
+            f"{port.snoops:,} snoops, "
+            f"{bridge.recalls_done:,} recalls"
+            + (f", {port.conflicts} conflicts"
+               if hasattr(port, "conflicts") else "")
+        )
+    home = system.home
+    if hasattr(home, "transactions"):
+        extra = ""
+        if hasattr(home, "queued_total"):
+            extra = (f", {home.queued_total:,} convoyed "
+                     f"({home.queue_wait_ticks:,} wait ticks)")
+        lines.append(f"home               : {home.transactions:,} txns{extra}")
+    lines.append(f"memory device       : {home.memory.reads:,} reads, "
+                 f"{home.memory.writes:,} writes")
+    return "\n".join(lines)

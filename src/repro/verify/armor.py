@@ -1,0 +1,66 @@
+"""ArMOR-style fence refinement.
+
+ArMOR (Lustig et al., ISCA'15) reasons about which ordering guarantees a
+target MCM preserves natively, so that translated/ported code only keeps
+the fences it actually needs.  The paper uses exactly this refinement
+when mapping litmus tests onto heterogeneous clusters: "litmus tests for
+the weaker MCM are refined by removing fences that are no longer
+required when combining with the stronger MCM".
+
+Here the refinement is a small matrix: for each MCM, which of the four
+base orderings (ld-ld, ld-st, st-st, st-ld) are implicit, and which
+fence instruction provides each one when it is not.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import FENCE_FULL, FENCE_LD, FENCE_ST, Op, fence
+
+#: Orderings each MCM preserves without any fence.
+IMPLICIT_ORDERINGS = {
+    "SC": {("ld", "ld"), ("ld", "st"), ("st", "st"), ("st", "ld")},
+    "TSO": {("ld", "ld"), ("ld", "st"), ("st", "st")},  # st-ld needs MFENCE
+    "WEAK": set(),
+    "RCC": set(),
+}
+
+#: Cheapest fence providing each ordering, per MCM.
+_FENCE_CHOICE = {
+    "TSO": {("st", "ld"): FENCE_FULL},
+    "WEAK": {
+        ("ld", "ld"): FENCE_LD,
+        ("ld", "st"): FENCE_LD,  # dmb ld orders prior loads with everything
+        ("st", "st"): FENCE_ST,
+        ("st", "ld"): FENCE_FULL,
+    },
+    "RCC": {
+        ("ld", "ld"): FENCE_LD,
+        ("ld", "st"): FENCE_LD,
+        ("st", "st"): FENCE_ST,
+        ("st", "ld"): FENCE_FULL,
+    },
+    "SC": {},
+}
+
+
+def required_orderings(mcm: str, orders: tuple) -> tuple:
+    """The subset of ``orders`` the MCM does not provide natively."""
+    implicit = IMPLICIT_ORDERINGS[mcm]
+    return tuple(order for order in orders if order not in implicit)
+
+
+def fences_for(mcm: str, orders: tuple) -> list[Op]:
+    """Materialize a SYNC point as the cheapest fence sequence for ``mcm``.
+
+    Returns an empty list when the MCM provides every requested ordering
+    natively (the ArMOR elision).
+    """
+    needed = required_orderings(mcm, orders)
+    if not needed:
+        return []
+    kinds = {_FENCE_CHOICE[mcm][order] for order in needed}
+    if FENCE_FULL in kinds or len(kinds) > 1:
+        # A full barrier subsumes everything; multiple partial fences at
+        # one sync point also collapse into one full barrier.
+        return [fence(FENCE_FULL)]
+    return [fence(kinds.pop())]

@@ -1,0 +1,217 @@
+"""Runtime invariant monitors.
+
+These encode the properties the paper's Murphi stage checks:
+
+- **SWMR** -- at any instant, at most one cluster holds global write
+  permission for a line, and while one does, no other cluster holds any
+  copy; within a cluster, at most one L1 holds E/M while the others are
+  Invalid.
+- **Value coherence** -- every readable copy equals the authoritative
+  value (L1 owner's data, else the cluster cache's, else memory).  RCC
+  L1s are exempt: self-invalidating caches may hold stale data until
+  the next acquire (paper footnote 5).
+- **Inclusion** -- every line held by a MESI-family L1 is present in
+  its cluster's CXL cache.
+- **Compound-state legality** -- no line sits in a compound state the
+  policy marks forbidden (e.g. (M, S)), checked when unblocked.
+
+``attach_monitor`` samples the invariants periodically during a run,
+which is how the Rule-II failure-injection experiment (Fig. 4) catches
+the transient SWMR window that ``violate_atomicity`` opens.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConsistencyViolation
+from repro.protocols.variants import WRITE
+from repro.sim.l1 import RccL1
+
+#: L1 states with write permission / any permission.
+_WRITER_STATES = {"E", "M"}
+_HOLDER_STATES = {"S", "E", "M", "O", "F"}
+
+
+def _cluster_lines(system):
+    """Yield (cluster, addr) pairs for every line present anywhere."""
+    seen = set()
+    for cluster in system.clusters:
+        for line in cluster.bridge.cache.lines():
+            seen.add(line.addr)
+        for l1 in cluster.l1s:
+            for line in l1.cache.lines():
+                seen.add(line.addr)
+    return sorted(seen)
+
+
+def check_swmr(system) -> None:
+    """Single-writer-multiple-reader across the whole machine."""
+    for addr in _cluster_lines(system):
+        writer_clusters = []
+        holder_clusters = []
+        for cluster in system.clusters:
+            line = cluster.bridge.cache.peek(addr)
+            if line is None:
+                continue
+            bridge = cluster.bridge
+            tearing_down = (
+                addr in bridge.evicting or addr in bridge.port.wb
+            )
+            if tearing_down:
+                # A mid-eviction line keeps its state label until the
+                # writeback completes, but the permission is unusable
+                # (the line is blocked); the home may legitimately have
+                # re-granted the line already.
+                _check_intra_cluster_swmr(cluster, addr)
+                continue
+            if system.config.global_protocol and line.state in _WRITER_STATES:
+                writer_clusters.append(cluster.index)
+            if line.state in _HOLDER_STATES:
+                holder_clusters.append(cluster.index)
+            _check_intra_cluster_swmr(cluster, addr)
+        if len(writer_clusters) > 1:
+            raise ConsistencyViolation(
+                f"SWMR: clusters {writer_clusters} both hold global write "
+                f"permission for 0x{addr:x}"
+            )
+        if writer_clusters and len(holder_clusters) > 1:
+            raise ConsistencyViolation(
+                f"SWMR: cluster {writer_clusters[0]} owns 0x{addr:x} while "
+                f"clusters {holder_clusters} hold copies"
+            )
+
+
+def _check_intra_cluster_swmr(cluster, addr) -> None:
+    writers, holders = [], []
+    for l1 in cluster.l1s:
+        if isinstance(l1, RccL1):
+            continue
+        state = l1.line_state(addr)
+        if state in _WRITER_STATES:
+            writers.append(l1.node_id)
+        if state in _HOLDER_STATES:
+            holders.append(l1.node_id)
+    if len(writers) > 1:
+        raise ConsistencyViolation(
+            f"SWMR: L1s {writers} both writable for 0x{addr:x}"
+        )
+    if writers and len(holders) > 1:
+        raise ConsistencyViolation(
+            f"SWMR: {writers[0]} writable while {holders} hold 0x{addr:x}"
+        )
+
+
+def _line_quiet(system, addr) -> bool:
+    """No transaction anywhere is touching ``addr`` right now."""
+    for cluster in system.clusters:
+        if cluster.bridge.blocked(addr):
+            return False
+        for l1 in cluster.l1s:
+            if addr in getattr(l1, "mshrs", {}):
+                return False
+    if addr in getattr(system.home, "busy", {}):
+        return False
+    home_line = system.home.lines.get(addr)
+    if home_line is not None and getattr(home_line, "data_pending", False):
+        return False  # owner's WBData still in flight to the home
+    return True
+
+
+def check_value_coherence(system) -> None:
+    """Readable copies match the authoritative value for their line.
+
+    Lines with an in-flight transaction are skipped: mid-recall the
+    authoritative value legitimately travels inside a WBData message.
+    """
+    for addr in _cluster_lines(system):
+        if not _line_quiet(system, addr):
+            continue
+        authoritative = _authoritative_value(system, addr)
+        if authoritative is None:
+            continue
+        for cluster in system.clusters:
+            for l1 in cluster.l1s:
+                if isinstance(l1, RccL1):
+                    continue  # stale-until-acquire by design
+                line = l1.cache.peek(addr)
+                if line is None or line.state not in _HOLDER_STATES:
+                    continue
+                if line.data != authoritative:
+                    raise ConsistencyViolation(
+                        f"value: {l1.node_id} reads {line.data} for "
+                        f"0x{addr:x}, authoritative is {authoritative}"
+                    )
+
+
+def _authoritative_value(system, addr):
+    # Priority: any L1 owner; then a dirty cluster cache; then memory.
+    for cluster in system.clusters:
+        for l1 in cluster.l1s:
+            if isinstance(l1, RccL1):
+                continue
+            line = l1.cache.peek(addr)
+            if line is not None and line.state in ("M", "O", "E"):
+                return line.data
+    for cluster in system.clusters:
+        line = cluster.bridge.cache.peek(addr)
+        if line is not None and line.dirty and not line.meta.get("stale"):
+            return line.data
+    return system.backing.read(addr)
+
+
+def check_inclusion(system) -> None:
+    """MESI-family L1 contents are included in their cluster cache."""
+    for cluster in system.clusters:
+        bridge = cluster.bridge
+        if bridge.variant.self_invalidating:
+            continue  # RCC relaxes inclusion (paper footnote 5)
+        for l1 in cluster.l1s:
+            for line in l1.cache.lines():
+                if line.state in _HOLDER_STATES and bridge.cache.peek(line.addr) is None:
+                    raise ConsistencyViolation(
+                        f"inclusion: {l1.node_id} holds 0x{line.addr:x} "
+                        f"({line.state}) absent from {bridge.node_id}"
+                    )
+
+
+def check_compound_states(system) -> None:
+    """No unblocked line sits in a policy-forbidden compound state."""
+    for cluster in system.clusters:
+        bridge = cluster.bridge
+        for line in bridge.cache.lines():
+            if bridge.blocked(line.addr):
+                continue
+            local_summary = bridge.dir_record(line).summary()
+            if bridge.policy.forbidden(local_summary, line.state):
+                raise ConsistencyViolation(
+                    f"compound: {bridge.node_id} line 0x{line.addr:x} in "
+                    f"forbidden state ({local_summary}, {line.state})"
+                )
+
+
+ALL_CHECKS = (check_swmr, check_value_coherence, check_inclusion, check_compound_states)
+
+
+def check_all(system) -> None:
+    """Run every invariant monitor once; raises on violation."""
+    for check in ALL_CHECKS:
+        check(system)
+
+
+def attach_monitor(system, period_ticks: int = 5_000) -> list:
+    """Sample every invariant each ``period_ticks`` while events remain.
+
+    Returns a list that accumulates violations (as exceptions) instead
+    of raising, so a run can be inspected post-mortem.
+    """
+    violations: list[ConsistencyViolation] = []
+
+    def sample():
+        try:
+            check_all(system)
+        except ConsistencyViolation as exc:
+            violations.append(exc)
+        if system.engine.pending():
+            system.engine.schedule(period_ticks, sample)
+
+    system.engine.schedule(period_ticks, sample)
+    return violations

@@ -1,0 +1,269 @@
+"""Litmus tests in abstract, fence-annotated form.
+
+Each test is a tuple of threads; each thread a tuple of abstract ops:
+``W`` (store), ``R`` (load) and ``SYNC``.  A ``SYNC`` carries the
+*orderings it must enforce* -- pairs like ``("st", "st")`` (order prior
+stores with later stores) -- rather than a concrete fence.  The
+materializer turns each SYNC into the cheapest fence (or nothing) for
+the thread's MCM using the ArMOR refinement matrix, reproducing the
+paper's methodology: litmus tests for the weaker MCM are refined to
+remove fences the stronger MCM provides natively.
+
+``forbidden`` lists the classic non-SC outcome(s) of each test as
+subset constraints over the final registers and memory; with full
+synchronization the compound model must never produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import ThreadProgram, load, store
+from repro.verify.armor import fences_for
+
+X, Y, Z = 0x10, 0x11, 0x12
+
+
+@dataclass(frozen=True)
+class AOp:
+    """Abstract litmus op."""
+
+    kind: str  # "W" | "R" | "SYNC"
+    addr: int = 0
+    value: int = 0
+    reg: str | None = None
+    orders: tuple[tuple[str, str], ...] = ()
+
+
+def W(addr: int, value: int) -> AOp:
+    """Abstract store."""
+    return AOp("W", addr=addr, value=value)
+
+
+def R(addr: int, reg: str) -> AOp:
+    """Abstract load into ``reg``."""
+    return AOp("R", addr=addr, reg=reg)
+
+
+def SYNC(*orders: tuple[str, str]) -> AOp:
+    """Synchronization point enforcing the given orderings."""
+    return AOp("SYNC", orders=tuple(orders))
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test with its forbidden (non-SC) outcomes."""
+
+    name: str
+    threads: tuple[tuple[AOp, ...], ...]
+    #: Subset constraints; an outcome is forbidden if it satisfies every
+    #: entry of any one dict.  Memory finals use "[<addr>]" keys.
+    forbidden: tuple[dict, ...]
+    #: Memory locations whose final value the condition observes.
+    observed_addrs: tuple[int, ...] = ()
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def registers(self) -> list[str]:
+        """All registers the test's outcome condition mentions."""
+        return [op.reg for thread in self.threads for op in thread if op.reg]
+
+    def addresses(self) -> tuple[int, ...]:
+        """All line addresses the test touches, in first-use order."""
+        seen = []
+        for thread in self.threads:
+            for op in thread:
+                if op.kind in ("W", "R") and op.addr not in seen:
+                    seen.append(op.addr)
+        return tuple(seen)
+
+    def matches_forbidden(self, outcome: dict) -> bool:
+        """Whether an outcome satisfies any forbidden-outcome spec."""
+        return any(
+            all(outcome.get(key) == val for key, val in spec.items())
+            for spec in self.forbidden
+        )
+
+
+def materialize(
+    test: LitmusTest,
+    mcms: list[str],
+    sync: bool = True,
+    drop_orders: dict[int, set] | None = None,
+) -> list[ThreadProgram]:
+    """Instantiate the test for concrete per-thread MCMs.
+
+    ``sync=False`` removes every SYNC (the paper's control experiment).
+    ``drop_orders`` removes specific orderings from specific threads,
+    e.g. ``{0: {("st", "st")}}`` strips store-store synchronization from
+    thread 0 (harmless on TSO, outcome-changing on WEAK).
+    """
+    drop_orders = drop_orders or {}
+    programs = []
+    for tid, (thread, mcm) in enumerate(zip(test.threads, mcms)):
+        ops = []
+        for aop in thread:
+            if aop.kind == "W":
+                ops.append(store(aop.addr, aop.value))
+            elif aop.kind == "R":
+                ops.append(load(aop.addr, aop.reg))
+            else:  # SYNC
+                if not sync:
+                    continue
+                orders = tuple(
+                    o for o in aop.orders if o not in drop_orders.get(tid, set())
+                )
+                ops.extend(fences_for(mcm, orders))
+        programs.append(ThreadProgram(f"{test.name}.t{tid}", ops))
+    return programs
+
+
+# ---------------------------------------------------------------------------
+# The test suite (paper Table IV set + the Murphi-stage extended set).
+# ---------------------------------------------------------------------------
+
+MP = LitmusTest(
+    "MP",
+    threads=(
+        (W(X, 1), SYNC(("st", "st")), W(Y, 1)),
+        (R(Y, "r1_0"), SYNC(("ld", "ld")), R(X, "r1_1")),
+    ),
+    forbidden=({"r1_0": 1, "r1_1": 0},),
+)
+
+SB = LitmusTest(
+    "SB",
+    threads=(
+        (W(X, 1), SYNC(("st", "ld")), R(Y, "r0_0")),
+        (W(Y, 1), SYNC(("st", "ld")), R(X, "r1_0")),
+    ),
+    forbidden=({"r0_0": 0, "r1_0": 0},),
+)
+
+LB = LitmusTest(
+    "LB",
+    threads=(
+        (R(X, "r0_0"), SYNC(("ld", "st")), W(Y, 1)),
+        (R(Y, "r1_0"), SYNC(("ld", "st")), W(X, 1)),
+    ),
+    forbidden=({"r0_0": 1, "r1_0": 1},),
+)
+
+IRIW = LitmusTest(
+    "IRIW",
+    threads=(
+        (W(X, 1),),
+        (W(Y, 1),),
+        (R(X, "r2_0"), SYNC(("ld", "ld")), R(Y, "r2_1")),
+        (R(Y, "r3_0"), SYNC(("ld", "ld")), R(X, "r3_1")),
+    ),
+    forbidden=({"r2_0": 1, "r2_1": 0, "r3_0": 1, "r3_1": 0},),
+)
+
+TWO_2W = LitmusTest(
+    "2+2W",
+    threads=(
+        (W(X, 1), SYNC(("st", "st")), W(Y, 2)),
+        (W(Y, 1), SYNC(("st", "st")), W(X, 2)),
+    ),
+    forbidden=({f"[{X}]": 1, f"[{Y}]": 1},),
+    observed_addrs=(X, Y),
+)
+
+R_TEST = LitmusTest(
+    "R",
+    threads=(
+        (W(X, 1), SYNC(("st", "st")), W(Y, 1)),
+        (W(Y, 2), SYNC(("st", "ld")), R(X, "r1_0")),
+    ),
+    forbidden=({f"[{Y}]": 2, "r1_0": 0},),
+    observed_addrs=(Y,),
+)
+
+S_TEST = LitmusTest(
+    "S",
+    threads=(
+        (W(X, 2), SYNC(("st", "st")), W(Y, 1)),
+        (R(Y, "r1_0"), SYNC(("ld", "st")), W(X, 1)),
+    ),
+    forbidden=({"r1_0": 1, f"[{X}]": 2},),
+    observed_addrs=(X,),
+)
+
+CORR1 = LitmusTest(
+    "CoRR1",
+    threads=(
+        (W(X, 1),),
+        (R(X, "r1_0"), R(X, "r1_1")),
+    ),
+    forbidden=({"r1_0": 1, "r1_1": 0},),
+)
+
+CORR2 = LitmusTest(
+    "CoRR2",
+    threads=(
+        (W(X, 1),),
+        (W(X, 2),),
+        (R(X, "r2_0"), R(X, "r2_1")),
+        (R(X, "r3_0"), R(X, "r3_1")),
+    ),
+    forbidden=(
+        {"r2_0": 1, "r2_1": 2, "r3_0": 2, "r3_1": 1},
+        {"r2_0": 2, "r2_1": 1, "r3_0": 1, "r3_1": 2},
+    ),
+)
+
+WRC = LitmusTest(
+    "WRC",
+    threads=(
+        (W(X, 1),),
+        (R(X, "r1_0"), SYNC(("ld", "st")), W(Y, 1)),
+        (R(Y, "r2_0"), SYNC(("ld", "ld")), R(X, "r2_1")),
+    ),
+    forbidden=({"r1_0": 1, "r2_0": 1, "r2_1": 0},),
+)
+
+RWC = LitmusTest(
+    "RWC",
+    threads=(
+        (W(X, 1),),
+        (R(X, "r1_0"), SYNC(("ld", "ld")), R(Y, "r1_1")),
+        (W(Y, 1), SYNC(("st", "ld")), R(X, "r2_0")),
+    ),
+    forbidden=({"r1_0": 1, "r1_1": 0, "r2_0": 0},),
+)
+
+WRW_2W = LitmusTest(
+    "WRW+2W",
+    threads=(
+        (W(X, 1),),
+        (R(X, "r1_0"), SYNC(("ld", "st")), W(Y, 1)),
+        (W(Y, 2), SYNC(("st", "st")), W(X, 2)),
+    ),
+    forbidden=({"r1_0": 1, f"[{Y}]": 2, f"[{X}]": 1},),
+    observed_addrs=(X, Y),
+)
+
+WWC = LitmusTest(
+    "WWC",
+    threads=(
+        (W(X, 1),),
+        (R(X, "r1_0"), SYNC(("ld", "st")), W(Y, 1)),
+        (R(Y, "r2_0"), SYNC(("ld", "st")), W(X, 2)),
+    ),
+    forbidden=({"r1_0": 2, "r2_0": 1, f"[{X}]": 1},),
+    observed_addrs=(X,),
+)
+
+#: The seven tests of the paper's gem5 litmus evaluation (Table IV).
+TABLE4_TESTS = (TWO_2W, IRIW, LB, MP, R_TEST, S_TEST, SB)
+
+#: The full suite, including the extended Murphi-stage checks.
+LITMUS_TESTS = (
+    MP, SB, LB, IRIW, TWO_2W, R_TEST, S_TEST,
+    CORR1, CORR2, WRC, RWC, WRW_2W, WWC,
+)
+
+LITMUS_BY_NAME = {test.name: test for test in LITMUS_TESTS}

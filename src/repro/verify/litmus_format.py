@@ -1,0 +1,157 @@
+"""Textual litmus-test format (herd7-inspired).
+
+The paper generates its litmus tests with herd7; this module gives the
+repository an equivalent front door: a small, line-oriented text format
+that parses into :class:`~repro.verify.litmus.LitmusTest`, so new tests
+can be added (or machine-generated) without touching Python.
+
+Grammar::
+
+    litmus <name>
+    thread <label>:
+        W <var> <int>          # store
+        R <var> <reg>          # load
+        sync <ord>[,<ord>...]  # ordering point, e.g. st-st or ld-ld
+    thread <label>:
+        ...
+    forbidden: <reg|var>=<int> [...]   # one clause per line; AND within
+    observe: <var> [...]               # final memory values in outcomes
+
+Variables are symbolic; they are assigned distinct line addresses in
+order of first use (x -> 0x10, the next -> 0x11, ...).  ``forbidden``
+keys that name a variable refer to its *final memory value*.  Multiple
+``forbidden:`` lines form a disjunction of conjunctive clauses, exactly
+like :class:`LitmusTest.forbidden`.
+
+``dumps`` serializes a test back to this format; parse/dump round-trips
+are exercised in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.verify.litmus import AOp, LitmusTest, R, SYNC, W
+
+_FIRST_ADDR = 0x10
+
+
+class LitmusFormatError(ValueError):
+    """The text does not conform to the litmus grammar."""
+
+
+def loads(text: str) -> LitmusTest:
+    """Parse one litmus test from its textual form."""
+    name = None
+    threads: list[list[AOp]] = []
+    forbidden: list[dict] = []
+    observe: list[str] = []
+    addresses: dict[str, int] = {}
+
+    def addr_of(var: str) -> int:
+        if var not in addresses:
+            addresses[var] = _FIRST_ADDR + len(addresses)
+        return addresses[var]
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if head == "litmus":
+            if name is not None:
+                raise LitmusFormatError("duplicate 'litmus' header")
+            name = rest or None
+            if name is None:
+                raise LitmusFormatError("litmus header needs a name")
+        elif head == "thread":
+            threads.append([])
+        elif head == "W":
+            parts = rest.split()
+            if len(parts) != 2 or not threads:
+                raise LitmusFormatError(f"bad store line: {raw_line!r}")
+            threads[-1].append(W(addr_of(parts[0]), int(parts[1])))
+        elif head == "R":
+            parts = rest.split()
+            if len(parts) != 2 or not threads:
+                raise LitmusFormatError(f"bad load line: {raw_line!r}")
+            threads[-1].append(R(addr_of(parts[0]), parts[1]))
+        elif head == "sync":
+            if not threads:
+                raise LitmusFormatError("sync outside a thread")
+            orders = []
+            for token in rest.replace(",", " ").split():
+                pair = token.split("-")
+                if len(pair) != 2 or not all(p in ("ld", "st") for p in pair):
+                    raise LitmusFormatError(f"bad sync ordering {token!r}")
+                orders.append((pair[0], pair[1]))
+            if not orders:
+                raise LitmusFormatError("sync needs at least one ordering")
+            threads[-1].append(SYNC(*orders))
+        elif head == "forbidden:":
+            clause = {}
+            for token in rest.split():
+                key, _, value = token.partition("=")
+                if not value:
+                    raise LitmusFormatError(f"bad forbidden term {token!r}")
+                if key in addresses:
+                    clause[f"[{addresses[key]}]"] = int(value)
+                else:
+                    clause[key] = int(value)
+            if not clause:
+                raise LitmusFormatError("empty forbidden clause")
+            forbidden.append(clause)
+        elif head == "observe:":
+            for var in rest.split():
+                if var not in addresses:
+                    raise LitmusFormatError(f"observe of unknown variable {var!r}")
+                observe.append(var)
+        else:
+            raise LitmusFormatError(f"unrecognized line: {raw_line!r}")
+
+    if name is None:
+        raise LitmusFormatError("missing 'litmus <name>' header")
+    if not threads or not any(threads):
+        raise LitmusFormatError("no threads defined")
+    if not forbidden:
+        raise LitmusFormatError("at least one forbidden clause required")
+    return LitmusTest(
+        name=name,
+        threads=tuple(tuple(ops) for ops in threads),
+        forbidden=tuple(forbidden),
+        observed_addrs=tuple(addresses[var] for var in observe),
+    )
+
+
+def dumps(test: LitmusTest) -> str:
+    """Serialize a test to the textual format (round-trips with loads)."""
+    names = {addr: _var_name(index)
+             for index, addr in enumerate(test.addresses())}
+    lines = [f"litmus {test.name}"]
+    for tid, thread in enumerate(test.threads):
+        lines.append(f"thread P{tid}:")
+        for op in thread:
+            if op.kind == "W":
+                lines.append(f"    W {names[op.addr]} {op.value}")
+            elif op.kind == "R":
+                lines.append(f"    R {names[op.addr]} {op.reg}")
+            else:
+                orders = " ".join(f"{a}-{b}" for a, b in op.orders)
+                lines.append(f"    sync {orders}")
+    for clause in test.forbidden:
+        terms = []
+        for key, value in clause.items():
+            if key.startswith("["):
+                terms.append(f"{names[int(key[1:-1])]}={value}")
+            else:
+                terms.append(f"{key}={value}")
+        lines.append("forbidden: " + " ".join(terms))
+    if test.observed_addrs:
+        lines.append("observe: " + " ".join(names[a] for a in test.observed_addrs))
+    return "\n".join(lines) + "\n"
+
+
+def _var_name(index: int) -> str:
+    alphabet = "xyzwvu"
+    if index < len(alphabet):
+        return alphabet[index]
+    return f"v{index}"

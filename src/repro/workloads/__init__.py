@@ -1,0 +1,13 @@
+"""Synthetic workload suite.
+
+33 kernels mirroring the sharing behaviour of the paper's benchmarks
+(Splash-4, PARSEC, Phoenix).  Each kernel is a parameterized memory-
+trace generator built from the reusable sharing patterns in
+:mod:`repro.workloads.patterns`; the catalogue with per-kernel
+parameters lives in :mod:`repro.workloads.suites`.
+"""
+
+from repro.workloads.base import WorkloadSpec, build_workload, workload_names
+from repro.workloads.suites import WORKLOADS, SUITES
+
+__all__ = ["WorkloadSpec", "build_workload", "workload_names", "WORKLOADS", "SUITES"]

@@ -1,0 +1,55 @@
+"""Workload abstraction and builder."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import ThreadProgram
+from repro.workloads.patterns import PATTERNS
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named kernel: a pattern plus its parameters.
+
+    ``ops`` is the per-thread op count at scale 1.0; ``params`` feed the
+    pattern generator.  ``cxl_sensitivity`` documents the qualitative
+    expectation from the paper (which kernels suffer most under CXL) and
+    is used by the test suite to sanity-check the reproduction's shape.
+    """
+
+    name: str
+    suite: str  # "splash4" | "parsec" | "phoenix"
+    pattern: str
+    ops: int = 400
+    params: dict = field(default_factory=dict)
+    cxl_sensitivity: str = "low"  # "low" | "medium" | "high"
+
+    def build(self, num_threads: int, scale: float = 1.0, seed: int = 1):
+        """Materialize per-thread programs."""
+        generator = PATTERNS[self.pattern]
+        n = max(16, int(self.ops * scale))
+        programs = []
+        for tid in range(num_threads):
+            rng = random.Random((seed << 16) ^ (hash(self.name) & 0xFFFF) ^ tid)
+            params = dict(self.params)
+            params.setdefault("num_threads", num_threads)
+            ops = generator(tid, rng, n, **params)
+            programs.append(ThreadProgram(f"{self.name}.t{tid}", ops))
+        return programs
+
+
+def build_workload(name: str, num_threads: int, scale: float = 1.0, seed: int = 1):
+    """Materialize per-thread programs for a named kernel."""
+    from repro.workloads.suites import WORKLOADS
+
+    return WORKLOADS[name].build(num_threads, scale=scale, seed=seed)
+
+
+def workload_names(suite: str | None = None):
+    """Kernel names, optionally restricted to one suite."""
+    from repro.workloads.suites import WORKLOADS
+
+    return [name for name, spec in WORKLOADS.items()
+            if suite is None or spec.suite == suite]

@@ -1,0 +1,207 @@
+"""Reusable sharing-pattern generators.
+
+Each pattern builds one thread's straight-line op stream.  The patterns
+correspond to the classic parallel-workload access archetypes:
+
+``streaming``          private sequential sweeps (blackscholes, vips).
+``hotspot``            contended read-modify-writes on a few shared
+                       lines (histogram's bins, lock-heavy kernels).
+``neighbor_exchange``  stencil boundary sharing (ocean, fluidanimate).
+``migratory``          lock-protected object bouncing between threads
+                       (barnes tree updates, canneal swaps).
+``read_mostly_shared`` shared read-only tables with rare updates
+                       (raytrace scene data, streamcluster centers).
+``producer_consumer``  staged pipelines passing lines downstream
+                       (dedup, ferret, x264).
+``blocked_shared``     block-decomposed matrices where threads touch
+                       each other's panels (lu, cholesky, fft, radix).
+
+Every pattern dilutes its shared traffic with private work through a
+``shared_frac`` knob -- the analog of the paper's MPKI calibration: real
+programs spend most instructions on private data, and the coherence-
+sensitive accesses are a small fraction.  ``footprint`` (private lines
+per thread) controls the private miss rate; ``gap`` the compute cycles
+charged per op.
+
+Address space layout: every address is a 64-byte line number.  Private
+regions start at ``PRIVATE_BASE + tid * footprint``; shared regions,
+hot lines and locks live in low addresses so both clusters touch them.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Op, fence, load, rmw, store
+
+PRIVATE_BASE = 1 << 20
+SHARED_BASE = 0x1000
+LOCK_BASE = 0x100
+
+
+def _private_op(ops, tid, i, rng, footprint, write_frac, gap):
+    addr = PRIVATE_BASE + tid * footprint + rng.randrange(footprint)
+    if rng.random() < write_frac:
+        ops.append(store(addr, tid * 10_000 + i, gap=gap))
+    else:
+        ops.append(load(addr, gap=gap))
+
+
+def _maybe_sync(ops: list[Op], i: int, sync_period: int, lock_line: int) -> None:
+    """Periodic synchronization: a lock-style atomic (SC on every MCM)."""
+    if sync_period and i and i % sync_period == 0:
+        ops.append(rmw(lock_line, 1))
+
+
+def streaming(tid, rng, n, footprint=256, write_frac=0.3, gap=8, sync_period=0,
+              **_):
+    """Private sequential sweep; essentially no coherence traffic."""
+    base = PRIVATE_BASE + tid * footprint
+    ops = []
+    for i in range(n):
+        addr = base + (i % footprint)
+        if rng.random() < write_frac:
+            ops.append(store(addr, tid * 10_000 + i, gap=gap))
+        else:
+            ops.append(load(addr, gap=gap))
+        _maybe_sync(ops, i, sync_period, LOCK_BASE + tid % 4)
+    return ops
+
+
+def hotspot(tid, rng, n, hot_lines=8, shared_frac=0.12, footprint=320,
+            rmw_frac=0.8, write_frac=0.3, gap=8, sync_period=0, **_):
+    """Contended updates to a few shared lines (histogram bins)."""
+    ops = []
+    for i in range(n):
+        if rng.random() < shared_frac:
+            addr = SHARED_BASE + rng.randrange(hot_lines)
+            if rng.random() < rmw_frac:
+                ops.append(rmw(addr, 1, gap=gap))
+            else:
+                ops.append(load(addr, gap=gap))
+        else:
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+        _maybe_sync(ops, i, sync_period, LOCK_BASE)
+    return ops
+
+
+def neighbor_exchange(tid, rng, n, num_threads=8, rows=32, shared_frac=0.10,
+                      footprint=320, write_frac=0.45, gap=8, sync_period=48, **_):
+    """Stencil: mostly private panel work, boundary rows shared."""
+    own = SHARED_BASE + tid * rows
+    left = SHARED_BASE + ((tid - 1) % num_threads) * rows
+    right = SHARED_BASE + ((tid + 1) % num_threads) * rows
+    ops = []
+    for i in range(n):
+        roll = rng.random()
+        if roll < shared_frac / 2:
+            ops.append(load(left + rows - 1, gap=gap))  # neighbor boundary
+        elif roll < shared_frac:
+            if rng.random() < write_frac:
+                ops.append(store(own + rng.randrange(2), tid * 10_000 + i, gap=gap))
+            else:
+                ops.append(load(right, gap=gap))
+        else:
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+        _maybe_sync(ops, i, sync_period, LOCK_BASE + 1)
+    return ops
+
+
+def migratory(tid, rng, n, objects=6, object_lines=4, visit_period=40,
+              footprint=320, write_frac=0.35, gap=8, **_):
+    """Lock-protected objects visited by every thread in turn, separated
+    by stretches of private work."""
+    ops = []
+    i = 0
+    while i < n:
+        for _ in range(visit_period):
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+            i += 1
+            if i >= n:
+                break
+        obj = rng.randrange(objects)
+        lock = LOCK_BASE + obj
+        base = SHARED_BASE + obj * object_lines
+        ops.append(rmw(lock, 1, gap=gap))  # acquire
+        for line in range(object_lines):
+            ops.append(load(base + line, gap=gap))
+            ops.append(store(base + line, tid * 10_000 + i, gap=gap))
+        ops.append(fence())
+        ops.append(store(lock, 0, gap=gap))  # release
+        i += object_lines + 2
+    return ops
+
+
+def read_mostly_shared(tid, rng, n, table_lines=96, shared_frac=0.25,
+                       update_frac=0.03, footprint=320, write_frac=0.3,
+                       gap=8, sync_period=0, **_):
+    """Big shared read-only table, rare updates (scene data, centers)."""
+    ops = []
+    for i in range(n):
+        if rng.random() < shared_frac:
+            addr = SHARED_BASE + rng.randrange(table_lines)
+            if rng.random() < update_frac:
+                ops.append(store(addr, tid * 10_000 + i, gap=gap))
+            else:
+                ops.append(load(addr, gap=gap))
+        else:
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+        _maybe_sync(ops, i, sync_period, LOCK_BASE + 2)
+    return ops
+
+
+def producer_consumer(tid, rng, n, num_threads=8, queue_lines=16,
+                      shared_frac=0.15, footprint=320, write_frac=0.4,
+                      gap=8, **_):
+    """Pipeline stages: read the upstream stage's lines, write your own,
+    with private transform work in between."""
+    stage_in = SHARED_BASE + ((tid - 1) % num_threads) * queue_lines
+    stage_out = SHARED_BASE + tid * queue_lines
+    ops = []
+    for i in range(n):
+        if rng.random() < shared_frac:
+            slot = rng.randrange(queue_lines)
+            if i % 2 == 0:
+                ops.append(load(stage_in + slot, gap=gap))
+            else:
+                ops.append(store(stage_out + slot, tid * 10_000 + i, gap=gap))
+            if rng.random() < 0.2:
+                ops.append(fence())
+        else:
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+    return ops
+
+
+def blocked_shared(tid, rng, n, blocks=16, block_lines=8, shared_frac=0.15,
+                   remote_frac=0.4, footprint=320, write_frac=0.4, gap=8,
+                   sync_period=64, **_):
+    """Block-decomposed matrix work; other threads' panels are read
+    during factorization steps, own panel updated."""
+    own_block = tid % blocks
+    ops = []
+    for i in range(n):
+        if rng.random() < shared_frac:
+            if rng.random() < remote_frac:
+                block = rng.randrange(blocks)
+            else:
+                block = own_block
+            addr = SHARED_BASE + block * block_lines + rng.randrange(block_lines)
+            if block == own_block and rng.random() < write_frac:
+                ops.append(store(addr, tid * 10_000 + i, gap=gap))
+            elif rng.random() < 0.1:
+                ops.append(rmw(addr, 1, gap=gap))
+            else:
+                ops.append(load(addr, gap=gap))
+        else:
+            _private_op(ops, tid, i, rng, footprint, write_frac, gap)
+        _maybe_sync(ops, i, sync_period, LOCK_BASE + 3)
+    return ops
+
+
+PATTERNS = {
+    "streaming": streaming,
+    "hotspot": hotspot,
+    "neighbor_exchange": neighbor_exchange,
+    "migratory": migratory,
+    "read_mostly_shared": read_mostly_shared,
+    "producer_consumer": producer_consumer,
+    "blocked_shared": blocked_shared,
+}

@@ -1,0 +1,131 @@
+"""The 33-kernel catalogue (Splash-4, PARSEC, Phoenix).
+
+Each entry maps a benchmark to the sharing pattern that dominates its
+coherence behaviour, with ``shared_frac``-style dilution standing in for
+the paper's MPKI calibration.  ``cxl_sensitivity`` records the
+qualitative expectation from the paper's Figs. 10-11: kernels whose hot
+lines ping-pong between clusters (histogram's bins, barnes' tree nodes,
+lu-ncont's non-contiguous panels) suffer most when the global protocol
+is CXL; streaming kernels (vips, blackscholes, swaptions) barely move.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+_S = "splash4"
+_P = "parsec"
+_X = "phoenix"
+
+WORKLOAD_LIST = [
+    # ----------------------------------------------------- Splash-4 (13)
+    WorkloadSpec("barnes", _S, "migratory", ops=400,
+                 params={"objects": 5, "object_lines": 4, "visit_period": 72},
+                 cxl_sensitivity="high"),
+    WorkloadSpec("cholesky", _S, "blocked_shared", ops=400,
+                 params={"blocks": 12, "shared_frac": 0.0165, "remote_frac": 0.4},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("fft", _S, "blocked_shared", ops=420,
+                 params={"blocks": 16, "shared_frac": 0.0165, "write_frac": 0.45},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("fmm", _S, "neighbor_exchange", ops=400,
+                 params={"rows": 24, "shared_frac": 0.0135}, cxl_sensitivity="medium"),
+    WorkloadSpec("lu-cont", _S, "blocked_shared", ops=420,
+                 params={"blocks": 16, "shared_frac": 0.0135, "sync_period": 128},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("lu-ncont", _S, "blocked_shared", ops=420,
+                 params={"blocks": 8, "block_lines": 4, "shared_frac": 0.0365,
+                         "remote_frac": 0.6, "write_frac": 0.5,
+                         "sync_period": 96},
+                 cxl_sensitivity="high"),
+    WorkloadSpec("ocean-cont", _S, "neighbor_exchange", ops=440,
+                 params={"rows": 48, "shared_frac": 0.0085}, cxl_sensitivity="low"),
+    WorkloadSpec("ocean-ncont", _S, "neighbor_exchange", ops=440,
+                 params={"rows": 16, "shared_frac": 0.0165, "sync_period": 64},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("radiosity", _S, "migratory", ops=400,
+                 params={"objects": 8, "object_lines": 3, "visit_period": 198},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("radix", _S, "blocked_shared", ops=420,
+                 params={"blocks": 20, "shared_frac": 0.015, "write_frac": 0.6},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("raytrace", _S, "read_mostly_shared", ops=440,
+                 params={"table_lines": 128, "shared_frac": 0.0335,
+                         "update_frac": 0.02},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("volrend", _S, "read_mostly_shared", ops=440,
+                 params={"table_lines": 96, "shared_frac": 0.025,
+                         "update_frac": 0.03},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("water-nsq", _S, "neighbor_exchange", ops=400,
+                 params={"rows": 32, "shared_frac": 0.01, "sync_period": 128},
+                 cxl_sensitivity="low"),
+    # ------------------------------------------------------- PARSEC (12)
+    WorkloadSpec("blackscholes", _P, "streaming", ops=480,
+                 params={"footprint": 192, "write_frac": 0.25},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("bodytrack", _P, "read_mostly_shared", ops=420,
+                 params={"table_lines": 80, "shared_frac": 0.025,
+                         "update_frac": 0.08},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("canneal", _P, "migratory", ops=400,
+                 params={"objects": 10, "object_lines": 2, "visit_period": 48},
+                 cxl_sensitivity="high"),
+    WorkloadSpec("dedup", _P, "producer_consumer", ops=420,
+                 params={"queue_lines": 12, "shared_frac": 0.02},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("facesim", _P, "neighbor_exchange", ops=420,
+                 params={"rows": 40, "shared_frac": 0.01}, cxl_sensitivity="low"),
+    WorkloadSpec("ferret", _P, "producer_consumer", ops=420,
+                 params={"queue_lines": 16, "shared_frac": 0.02},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("fluidanimate", _P, "neighbor_exchange", ops=420,
+                 params={"rows": 20, "shared_frac": 0.02, "sync_period": 64},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("freqmine", _P, "read_mostly_shared", ops=420,
+                 params={"table_lines": 112, "shared_frac": 0.025,
+                         "update_frac": 0.04},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("streamcluster", _P, "read_mostly_shared", ops=440,
+                 params={"table_lines": 64, "shared_frac": 0.03,
+                         "update_frac": 0.08},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("swaptions", _P, "streaming", ops=480,
+                 params={"footprint": 160, "write_frac": 0.3},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("vips", _P, "streaming", ops=480,
+                 params={"footprint": 224, "write_frac": 0.35},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("x264", _P, "producer_consumer", ops=440,
+                 params={"queue_lines": 20, "shared_frac": 0.0135},
+                 cxl_sensitivity="low"),
+    # ------------------------------------------------------ Phoenix (8)
+    WorkloadSpec("histogram", _X, "hotspot", ops=400,
+                 params={"hot_lines": 6, "shared_frac": 0.0365, "rmw_frac": 0.85},
+                 cxl_sensitivity="high"),
+    WorkloadSpec("kmeans", _X, "read_mostly_shared", ops=420,
+                 params={"table_lines": 48, "shared_frac": 0.025,
+                         "update_frac": 0.10},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("linear_regression", _X, "streaming", ops=480,
+                 params={"footprint": 200, "write_frac": 0.15},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("matrix_multiply", _X, "blocked_shared", ops=440,
+                 params={"blocks": 16, "shared_frac": 0.0135, "remote_frac": 0.3,
+                         "write_frac": 0.3},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("pca", _X, "blocked_shared", ops=420,
+                 params={"blocks": 12, "shared_frac": 0.0165}, cxl_sensitivity="medium"),
+    WorkloadSpec("string_match", _X, "streaming", ops=480,
+                 params={"footprint": 176, "write_frac": 0.1},
+                 cxl_sensitivity="low"),
+    WorkloadSpec("word_count", _X, "hotspot", ops=400,
+                 params={"hot_lines": 12, "shared_frac": 0.0165, "rmw_frac": 0.6},
+                 cxl_sensitivity="medium"),
+    WorkloadSpec("reverse_index", _X, "hotspot", ops=400,
+                 params={"hot_lines": 16, "shared_frac": 0.0135, "rmw_frac": 0.5},
+                 cxl_sensitivity="medium"),
+]
+
+WORKLOADS = {spec.name: spec for spec in WORKLOAD_LIST}
+SUITES = ("splash4", "parsec", "phoenix")
+
+assert len(WORKLOAD_LIST) == 33, len(WORKLOAD_LIST)

@@ -1,0 +1,146 @@
+"""Tests for the allowed-outcome enumerator and ArMOR refinement."""
+
+import pytest
+
+from repro.cpu.isa import FENCE_FULL, FENCE_LD, FENCE_ST
+from repro.verify.armor import fences_for, required_orderings
+from repro.verify.axiomatic import enumerate_outcomes
+from repro.verify.litmus import (
+    CORR1,
+    IRIW,
+    LB,
+    LITMUS_TESTS,
+    MP,
+    SB,
+    TWO_2W,
+    materialize,
+)
+
+
+def allowed(test, mcms, sync=True, drop_orders=None):
+    programs = materialize(test, list(mcms), sync=sync, drop_orders=drop_orders)
+    return enumerate_outcomes(programs, list(mcms), test.observed_addrs)
+
+
+def contains_forbidden(test, outcomes):
+    return any(test.matches_forbidden(dict(outcome)) for outcome in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# ArMOR refinement.
+# ---------------------------------------------------------------------------
+
+def test_tso_provides_store_store_natively():
+    assert required_orderings("TSO", (("st", "st"),)) == ()
+    assert fences_for("TSO", (("st", "st"),)) == []
+
+
+def test_tso_needs_mfence_for_store_load():
+    fences = fences_for("TSO", (("st", "ld"),))
+    assert len(fences) == 1 and fences[0].fence_kind == FENCE_FULL
+
+
+def test_weak_uses_partial_fences():
+    assert fences_for("WEAK", (("st", "st"),))[0].fence_kind == FENCE_ST
+    assert fences_for("WEAK", (("ld", "ld"),))[0].fence_kind == FENCE_LD
+
+
+def test_sc_needs_no_fences():
+    assert fences_for("SC", (("st", "ld"), ("ld", "ld"))) == []
+
+
+def test_mixed_orderings_collapse_to_full_fence():
+    fences = fences_for("WEAK", (("st", "st"), ("ld", "ld")))
+    assert len(fences) == 1 and fences[0].fence_kind == FENCE_FULL
+
+
+# ---------------------------------------------------------------------------
+# Enumerator semantics.
+# ---------------------------------------------------------------------------
+
+def test_mp_synced_weak_forbids_stale_read():
+    outcomes = allowed(MP, ("WEAK", "WEAK"))
+    assert not contains_forbidden(MP, outcomes)
+    assert (("r1_0", 1), ("r1_1", 1)) in outcomes
+    assert (("r1_0", 0), ("r1_1", 0)) in outcomes
+
+
+def test_mp_unsynced_weak_allows_forbidden():
+    outcomes = allowed(MP, ("WEAK", "WEAK"), sync=False)
+    assert contains_forbidden(MP, outcomes)
+
+
+def test_mp_unsynced_tso_still_forbids():
+    """TSO keeps both st-st and ld-ld order without fences."""
+    outcomes = allowed(MP, ("TSO", "TSO"), sync=False)
+    assert not contains_forbidden(MP, outcomes)
+
+
+def test_mp_weak_reader_without_ldld_breaks():
+    outcomes = allowed(MP, ("TSO", "WEAK"), drop_orders={1: {("ld", "ld")}})
+    assert contains_forbidden(MP, outcomes)
+
+
+def test_sb_synced_forbids_both_zero():
+    for mcms in (("TSO", "TSO"), ("WEAK", "WEAK"), ("TSO", "WEAK")):
+        outcomes = allowed(SB, mcms)
+        assert not contains_forbidden(SB, outcomes), mcms
+
+
+def test_sb_unsynced_tso_allows_both_zero():
+    """Store-load reordering is the one relaxation TSO permits."""
+    outcomes = allowed(SB, ("TSO", "TSO"), sync=False)
+    assert contains_forbidden(SB, outcomes)
+
+
+def test_lb_unsynced_weak_allows_tso_forbids():
+    assert contains_forbidden(LB, allowed(LB, ("WEAK", "WEAK"), sync=False))
+    assert not contains_forbidden(LB, allowed(LB, ("TSO", "TSO"), sync=False))
+
+
+def test_iriw_synced_forbids_divergent_orders():
+    outcomes = allowed(IRIW, ("WEAK", "WEAK", "WEAK", "WEAK"))
+    assert not contains_forbidden(IRIW, outcomes)
+
+
+def test_iriw_multi_copy_atomicity_holds_even_unsynced_on_tso():
+    outcomes = allowed(IRIW, ("TSO",) * 4, sync=False)
+    assert not contains_forbidden(IRIW, outcomes)
+
+
+def test_corr_never_allows_inverted_reads():
+    for sync in (True, False):
+        outcomes = allowed(CORR1, ("WEAK", "WEAK"), sync=sync)
+        assert not contains_forbidden(CORR1, outcomes)
+
+
+def test_2_2w_final_state_condition():
+    outcomes = allowed(TWO_2W, ("WEAK", "WEAK"))
+    assert not contains_forbidden(TWO_2W, outcomes)
+    unsynced = allowed(TWO_2W, ("WEAK", "WEAK"), sync=False)
+    assert contains_forbidden(TWO_2W, unsynced)
+
+
+def test_sc_outcomes_subset_of_weak():
+    """Stronger MCMs only remove outcomes, never add them."""
+    for test in (MP, SB, LB):
+        sc = allowed(test, ("SC", "SC"), sync=False)
+        weak = allowed(test, ("WEAK", "WEAK"), sync=False)
+        assert sc <= weak, test.name
+
+
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_every_synced_test_equals_its_sc_semantics(test):
+    """With full sync, relaxed threads allow exactly the SC outcomes."""
+    n = test.num_threads
+    synced = allowed(test, ("WEAK",) * n)
+    sc = allowed(test, ("SC",) * n, sync=False)
+    assert synced == sc
+
+
+def test_store_forwarding_visible_in_enumeration():
+    from repro.cpu.isa import ThreadProgram, load, store
+
+    program = ThreadProgram("t", [store(5, 7), load(5, "r0")])
+    outcomes = enumerate_outcomes([program], ["TSO"])
+    assert outcomes == frozenset({(("r0", 7),)})

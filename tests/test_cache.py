@@ -1,0 +1,98 @@
+"""Unit tests for the cache array."""
+
+import pytest
+
+from repro.sim.cache import CacheArray
+from repro.sim.config import LINE_BYTES
+
+
+def small_cache(sets=4, assoc=2):
+    return CacheArray(size_bytes=sets * assoc * LINE_BYTES, assoc=assoc)
+
+
+def test_insert_and_lookup():
+    cache = small_cache()
+    cache.insert(0x10, state="S", data=42)
+    line = cache.lookup(0x10)
+    assert line is not None
+    assert line.state == "S"
+    assert line.data == 42
+
+
+def test_miss_returns_none():
+    cache = small_cache()
+    assert cache.lookup(0x99) is None
+
+
+def test_lru_victim_is_oldest_touched():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0, state="S")
+    cache.insert(1, state="S")
+    cache.lookup(0)  # refresh 0; victim should now be 1
+    victim = cache.victim_for(2)
+    assert victim is not None and victim.addr == 1
+
+
+def test_victim_skips_pinned_states():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0, state="IS_D")
+    cache.insert(1, state="M")
+    victim = cache.victim_for(2, pinned={"IS_D"})
+    assert victim is not None and victim.addr == 1
+
+
+def test_victim_none_when_all_pinned():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0, state="IM_D")
+    cache.insert(1, state="IS_D")
+    assert cache.victim_for(2, pinned={"IM_D", "IS_D"}) is None
+
+
+def test_no_victim_needed_when_room():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0, state="S")
+    assert cache.victim_for(2) is None
+    assert cache.has_room(2)
+
+
+def test_insert_full_set_raises():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0)
+    cache.insert(1)
+    with pytest.raises(ValueError):
+        cache.insert(2)
+
+
+def test_duplicate_insert_raises():
+    cache = small_cache()
+    cache.insert(0x10)
+    with pytest.raises(ValueError):
+        cache.insert(0x10)
+
+
+def test_remove_returns_line():
+    cache = small_cache()
+    cache.insert(0x10, state="M", data=5)
+    line = cache.remove(0x10)
+    assert line.data == 5
+    assert cache.lookup(0x10) is None
+    with pytest.raises(KeyError):
+        cache.remove(0x10)
+
+
+def test_set_mapping_isolates_addresses():
+    cache = small_cache(sets=4, assoc=1)
+    cache.insert(0)  # set 0
+    cache.insert(1)  # set 1
+    assert cache.occupancy() == 2
+    assert cache.victim_for(4) is not None  # set 0 full (assoc 1)
+    assert cache.victim_for(2) is None  # set 2 empty
+
+
+def test_peek_does_not_touch_lru():
+    cache = small_cache(sets=1, assoc=2)
+    cache.insert(0)
+    cache.insert(1)
+    cache.peek(0)
+    victim = cache.victim_for(2)
+    assert victim is not None and victim.addr == 0

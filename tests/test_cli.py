@@ -1,0 +1,80 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out and "Table III" in out
+
+
+def test_litmus_pass(capsys):
+    assert main(["litmus", "MP", "--runs", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "MP: ok" in out
+
+
+def test_litmus_unknown(capsys):
+    assert main(["litmus", "NOPE"]) == 2
+    assert "unknown litmus test" in capsys.readouterr().err
+
+
+def test_litmus_no_sync_control(capsys):
+    assert main(["litmus", "SB", "--mcms", "TSO,TSO", "--runs", "15",
+                 "--no-sync"]) == 0
+
+
+def test_workload(capsys):
+    assert main(["workload", "fft", "--scale", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "execution time" in out and "miss cycles" in out
+
+
+def test_workload_unknown(capsys):
+    assert main(["workload", "nope"]) == 2
+
+
+def test_workload_combo_and_mcms(capsys):
+    assert main(["workload", "vips", "--combo", "MESI-MESI-MESI",
+                 "--mcms", "TSO,WEAK", "--scale", "0.2"]) == 0
+    assert "MESI-MESI-MESI" in capsys.readouterr().out
+
+
+def test_slicc_dump(capsys):
+    assert main(["slicc", "MOESI", "CXL"]) == 0
+    assert "machine(MachineType:C3" in capsys.readouterr().out
+
+
+def test_slicc_table(capsys):
+    assert main(["slicc", "MESI", "CXL", "--table"]) == 0
+    assert "X-Acc" in capsys.readouterr().out
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "histogram" in out and "IRIW" in out
+
+
+def test_bad_combo_rejected():
+    with pytest.raises(SystemExit):
+        main(["workload", "fft", "--combo", "MESI-CXL"])
+
+
+def test_litmus_from_file(tmp_path, capsys):
+    path = tmp_path / "mp.litmus"
+    path.write_text(
+        "litmus MP-file\n"
+        "thread P0:\n    W x 1\n    sync st-st\n    W y 1\n"
+        "thread P1:\n    R y r0\n    sync ld-ld\n    R x r1\n"
+        "forbidden: r0=1 r1=0\n"
+    )
+    assert main(["litmus", "--file", str(path), "--runs", "15"]) == 0
+    assert "MP-file: ok" in capsys.readouterr().out
+
+
+def test_litmus_requires_name_or_file(capsys):
+    assert main(["litmus"]) == 2

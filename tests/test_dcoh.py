@@ -1,0 +1,183 @@
+"""DCOH protocol-conformance tests: scripted hosts drive the directory.
+
+These check the CXL.mem flows message by message -- the 4- and 6-delay
+transactions of Sec. VI-C1, writeback absorption, the immediate
+BIConflictAck, and queueing (the convoy source) -- without any cache or
+core in the loop.
+"""
+
+import pytest
+
+from repro.protocols import messages as m
+from repro.protocols.cxl_mem import Dcoh
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.memctrl import BackingStore, MemoryModel
+from repro.sim.network import Link, Network, Node
+
+
+class ScriptedHost(Node):
+    def __init__(self, engine, network, node_id):
+        super().__init__(engine, network, node_id)
+        self.inbox = []
+
+    def handle_message(self, msg):
+        self.inbox.append(msg)
+
+    def kinds(self):
+        return [msg.kind for msg in self.inbox]
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    network = Network(engine, seed=1)
+    backing = BackingStore()
+    dcoh = Dcoh(engine, network, "home", MemoryModel(SystemConfig()), backing)
+    hosts = [ScriptedHost(engine, network, f"h{i}") for i in range(3)]
+    link = Link(latency=1000)
+    for host in hosts:
+        network.connect(host.node_id, "home", link)
+    return engine, network, dcoh, hosts, backing
+
+
+def send(network, kind, addr, src, **kw):
+    network.send(m.Message(kind, addr, src, "home", **kw))
+
+
+def test_cold_read_grants_exclusive(rig):
+    engine, network, dcoh, hosts, backing = rig
+    backing.write(0x1, 77)
+    send(network, m.MEM_RD, 0x1, "h0", meta="S")
+    engine.run()
+    assert hosts[0].kinds() == [m.CMP_E]
+    assert hosts[0].inbox[0].data == 77
+    assert dcoh.line(0x1).owner == "h0"
+
+
+def test_second_reader_gets_shared(rig):
+    engine, network, dcoh, hosts, _ = rig
+    send(network, m.MEM_RD, 0x1, "h0", meta="S")
+    engine.run()
+    send(network, m.MEM_RD, 0x1, "h1", meta="S")
+    engine.run()
+    # h0 held E: the DCOH must snoop-data it first.
+    assert hosts[0].kinds() == [m.CMP_E, m.BI_SNP_DATA]
+    send(network, m.BI_RSP_S, 0x1, "h0")
+    engine.run()
+    assert hosts[1].kinds() == [m.CMP_S]
+    line = dcoh.line(0x1)
+    assert line.owner is None and line.sharers == {"h0", "h1"}
+
+
+def test_rfo_with_dirty_owner_is_six_message_flow(rig):
+    engine, network, dcoh, hosts, backing = rig
+    send(network, m.MEM_RD, 0x2, "h0", meta="A")
+    engine.run()
+    assert hosts[0].kinds() == [m.CMP_M]
+    # h1 wants it: (1) MemRd,A -> (2) BISnpInv to h0.
+    send(network, m.MEM_RD, 0x2, "h1", meta="A")
+    engine.run()
+    assert hosts[0].kinds() == [m.CMP_M, m.BI_SNP_INV]
+    # (3) dirty host writes back -> (4) Cmp.
+    send(network, m.MEM_WR, 0x2, "h0", meta="I", data=55)
+    engine.run()
+    assert hosts[0].kinds() == [m.CMP_M, m.BI_SNP_INV, m.CMP]
+    assert backing.read(0x2) == 55
+    # (5) snoop response -> (6) grant with the written-back data.
+    send(network, m.BI_RSP_I, 0x2, "h0")
+    engine.run()
+    assert hosts[1].kinds() == [m.CMP_M]
+    assert hosts[1].inbox[0].data == 55
+    assert dcoh.line(0x2).owner == "h1"
+
+
+def test_rfo_with_clean_owner_is_four_message_flow(rig):
+    engine, network, dcoh, hosts, _ = rig
+    send(network, m.MEM_RD, 0x3, "h0", meta="S")  # h0 granted E (clean)
+    engine.run()
+    send(network, m.MEM_RD, 0x3, "h1", meta="A")
+    engine.run()
+    send(network, m.BI_RSP_I, 0x3, "h0")  # clean: no MemWr leg
+    engine.run()
+    assert hosts[1].kinds() == [m.CMP_M]
+
+
+def test_sharer_fanout_invalidation(rig):
+    engine, network, dcoh, hosts, _ = rig
+    send(network, m.MEM_RD, 0x4, "h0", meta="S")  # h0 granted E
+    engine.run()
+    send(network, m.MEM_RD, 0x4, "h1", meta="S")  # snoops the E owner
+    engine.run()
+    send(network, m.BI_RSP_S, 0x4, "h0")
+    engine.run()
+    send(network, m.MEM_RD, 0x4, "h2", meta="S")  # plain shared grant
+    engine.run()
+    assert dcoh.line(0x4).sharers == {"h0", "h1", "h2"}
+    send(network, m.MEM_RD, 0x4, "h0", meta="A")
+    engine.run()
+    assert hosts[1].kinds()[-1] == m.BI_SNP_INV
+    assert hosts[2].kinds()[-1] == m.BI_SNP_INV
+    send(network, m.BI_RSP_I, 0x4, "h1")
+    send(network, m.BI_RSP_I, 0x4, "h2")
+    engine.run()
+    assert hosts[0].kinds()[-1] == m.CMP_M
+    line = dcoh.line(0x4)
+    assert line.owner == "h0" and not line.sharers
+
+
+def test_conflict_ack_is_immediate_even_mid_transaction(rig):
+    engine, network, dcoh, hosts, _ = rig
+    send(network, m.MEM_RD, 0x5, "h0", meta="A")
+    engine.run()
+    send(network, m.MEM_RD, 0x5, "h1", meta="A")  # blocks on h0's snoop
+    engine.run()
+    send(network, m.BI_CONFLICT, 0x5, "h0")
+    engine.run()
+    assert m.BI_CONFLICT_ACK in hosts[0].kinds()
+    assert dcoh.conflicts_acked == 1
+
+
+def test_requests_queue_behind_busy_line(rig):
+    engine, network, dcoh, hosts, _ = rig
+    send(network, m.MEM_RD, 0x6, "h0", meta="A")
+    engine.run()
+    send(network, m.MEM_RD, 0x6, "h1", meta="A")
+    engine.run()
+    send(network, m.MEM_RD, 0x6, "h2", meta="S")
+    engine.run()
+    assert dcoh.queued_total == 1  # h2 convoyed behind h1's transaction
+    # Resolve h1's snoop of h0; then h2's read snoops h1 in turn.
+    send(network, m.BI_RSP_I, 0x6, "h0")
+    engine.run()
+    assert hosts[1].kinds()[0] == m.CMP_M
+    assert hosts[1].kinds()[-1] == m.BI_SNP_DATA
+    send(network, m.MEM_WR, 0x6, "h1", meta="S", data=9)
+    engine.run()
+    send(network, m.BI_RSP_S, 0x6, "h1")
+    engine.run()
+    assert hosts[2].kinds() == [m.CMP_S]
+    assert hosts[2].inbox[0].data == 9
+
+
+def test_standalone_writeback_updates_state(rig):
+    engine, network, dcoh, hosts, backing = rig
+    send(network, m.MEM_RD, 0x7, "h0", meta="A")
+    engine.run()
+    send(network, m.MEM_WR, 0x7, "h0", meta="I", data=11)
+    engine.run()
+    assert hosts[0].kinds() == [m.CMP_M, m.CMP]
+    assert backing.read(0x7) == 11
+    line = dcoh.line(0x7)
+    assert line.owner is None and line.state == "I"
+
+
+def test_memwr_s_retains_shared_copy(rig):
+    engine, network, dcoh, hosts, backing = rig
+    send(network, m.MEM_RD, 0x8, "h0", meta="A")
+    engine.run()
+    send(network, m.MEM_WR, 0x8, "h0", meta="S", data=3)
+    engine.run()
+    line = dcoh.line(0x8)
+    assert line.owner is None and line.sharers == {"h0"}
+    assert backing.read(0x8) == 3

@@ -1,0 +1,56 @@
+"""Documentation hygiene: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_MODULES = set()
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in EXEMPT_MODULES or info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in _walk_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_classes_document_public_methods():
+    missing = []
+    for module in _walk_modules():
+        for _name, obj in _public_members(module):
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not inspect.getdoc(method):
+                    missing.append(f"{module.__name__}.{obj.__name__}.{method_name}")
+    assert not missing, f"undocumented public methods: {missing}"

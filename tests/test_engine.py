@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationLimitError
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, order.append, "c")
+    engine.schedule(10, order.append, "a")
+    engine.schedule(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_tick_events_are_fifo():
+    engine = Engine()
+    order = []
+    for name in "abcde":
+        engine.schedule(5, order.append, name)
+    engine.run()
+    assert order == list("abcde")
+
+
+def test_nested_scheduling_advances_time():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append(engine.now)
+        engine.schedule(7, second)
+
+    def second():
+        seen.append(engine.now)
+
+    engine.schedule(3, first)
+    engine.run()
+    assert seen == [3, 10]
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(5, fired.append, "x")
+    event.cancel()
+    engine.schedule(6, fired.append, "y")
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_at_boundary():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "a")
+    engine.schedule(50, fired.append, "b")
+    engine.run(until=10)
+    assert fired == ["a"]
+    assert engine.now == 10
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_max_events_watchdog_detects_livelock():
+    engine = Engine()
+
+    def spin():
+        engine.schedule(1, spin)
+
+    engine.schedule(0, spin)
+    with pytest.raises(SimulationLimitError):
+        engine.run(max_events=100)
+
+
+def test_event_counter_accumulates():
+    engine = Engine()
+    for i in range(10):
+        engine.schedule(i, lambda: None)
+    engine.run()
+    assert engine.events_executed == 10

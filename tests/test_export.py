@@ -1,0 +1,52 @@
+"""JSON export tests."""
+
+import json
+
+from repro.harness.experiments import figure10, figure11, run_workload
+from repro.stats.export import dump_json, figure_to_dict, run_result_to_dict
+
+
+def test_run_result_round_trips_through_json(tmp_path):
+    result = run_workload("fft", scale=0.3, seed=2)
+    path = tmp_path / "run.json"
+    dump_json(result, path)
+    data = json.loads(path.read_text())
+    assert data["exec_time_ticks"] == result.exec_time
+    assert data["stats"]["ops"] == result.stats.ops
+    assert data["extra"]["workload"] == "fft"
+
+
+def test_figure10_export(tmp_path):
+    figure = figure10(workloads=["vips", "fft"], scale=0.3, seeds=(1,))
+    data = figure_to_dict(figure)
+    assert data["figure"] == "10"
+    assert data["normalized"]["vips"]["MESI-MESI-MESI"] == 1.0
+    dump_json(figure, tmp_path / "fig10.json")
+    assert json.loads((tmp_path / "fig10.json").read_text())["geomean"]
+
+
+def test_figure11_export():
+    figure = figure11(workloads=("vips",), scale=0.3)
+    data = figure_to_dict(figure)
+    assert data["figure"] == "11"
+    assert "vips" in data["high_latency_growth"]
+
+
+def test_table4_export():
+    from repro.harness.experiments import Table4Result
+    from repro.verify.litmus import MP
+    from repro.verify.runner import run_litmus
+
+    table = Table4Result()
+    table.results[("MP", "MESI-CXL-MESI", "Arm-Arm")] = run_litmus(MP, runs=10)
+    data = figure_to_dict(table)
+    assert data["table"] == "IV"
+    cell = data["cells"]["MP|MESI-CXL-MESI|Arm-Arm"]
+    assert cell["passed"] is True and cell["runs"] == 10
+
+
+def test_unknown_object_rejected():
+    import pytest
+
+    with pytest.raises(TypeError):
+        figure_to_dict(object())

@@ -1,0 +1,147 @@
+"""Global-MESI directory conformance: the pipelined baseline's flows.
+
+Checks the properties the paper's Sec. VI-C1 analysis relies on:
+peer-to-peer owner forwarding (3 remote delays), requester-collected
+ack counts, pipelining (no blocking across transactions to the same
+line except the brief WBData window), and writeback handling.
+"""
+
+import pytest
+
+from repro.protocols import messages as m
+from repro.protocols.global_mesi import GlobalMesiDir
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.memctrl import BackingStore, MemoryModel
+from repro.sim.network import Link, Network, Node
+
+
+class ScriptedHost(Node):
+    def __init__(self, engine, network, node_id):
+        super().__init__(engine, network, node_id)
+        self.inbox = []
+
+    def handle_message(self, msg):
+        self.inbox.append(msg)
+
+    def kinds(self):
+        return [msg.kind for msg in self.inbox]
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    network = Network(engine, seed=1)
+    backing = BackingStore()
+    home = GlobalMesiDir(engine, network, "home",
+                         MemoryModel(SystemConfig()), backing)
+    hosts = [ScriptedHost(engine, network, f"h{i}") for i in range(3)]
+    link = Link(latency=1000)
+    for host in hosts:
+        network.connect(host.node_id, "home", link)
+        for other in hosts:
+            if other is not host:
+                network.connect(host.node_id, other.node_id, link,
+                                bidirectional=False)
+    return engine, network, home, hosts, backing
+
+
+def send(network, kind, addr, src, **kw):
+    network.send(m.Message(kind, addr, src, "home", **kw))
+
+
+def test_cold_gets_grants_exclusive(rig):
+    engine, network, home, hosts, backing = rig
+    backing.write(0x1, 5)
+    send(network, m.GETS, 0x1, "h0")
+    engine.run()
+    grant = hosts[0].inbox[0]
+    assert grant.kind == m.DATA and grant.meta == "E" and grant.data == 5
+    assert home.line(0x1).owner == "h0"
+
+
+def test_getm_with_sharers_counts_acks(rig):
+    engine, network, home, hosts, _ = rig
+    send(network, m.GETS, 0x2, "h0")
+    engine.run()
+    # h0 is E-owner: a second GetS forwards peer-to-peer.
+    send(network, m.GETS, 0x2, "h1")
+    engine.run()
+    assert hosts[0].kinds()[-1] == m.FWD_GETS
+    # Owner supplies the data and refreshes memory.
+    network.send(m.Message(m.WB_DATA, 0x2, "h0", "home", data=0))
+    engine.run()
+    # Now h2 writes: the grant tells it to expect 2 invalidation acks.
+    send(network, m.GETM, 0x2, "h2")
+    engine.run()
+    grant = [msg for msg in hosts[2].inbox if msg.kind == m.DATA][0]
+    assert grant.meta == "M" and grant.acks == 2
+    assert hosts[0].kinds()[-1] == m.INV
+    assert hosts[1].kinds()[-1] == m.INV
+    assert hosts[0].inbox[-1].extra["req"] == "h2"
+
+
+def test_owner_chase_is_peer_to_peer(rig):
+    engine, network, home, hosts, _ = rig
+    send(network, m.GETM, 0x3, "h0")
+    engine.run()
+    send(network, m.GETM, 0x3, "h1")
+    engine.run()
+    # The directory forwarded and moved on: it records the new owner
+    # immediately (pipelining), and h1 gets nothing from the directory.
+    assert home.line(0x3).owner == "h1"
+    assert hosts[0].kinds()[-1] == m.FWD_GETM
+    assert hosts[0].inbox[-1].extra["req"] == "h1"
+    assert [k for k in hosts[1].kinds() if k != m.DATA] == []
+
+
+def test_data_pending_window_queues_reads(rig):
+    engine, network, home, hosts, _ = rig
+    send(network, m.GETM, 0x4, "h0")
+    engine.run()
+    send(network, m.GETS, 0x4, "h1")  # forwards to h0, memory stale
+    engine.run()
+    send(network, m.GETS, 0x4, "h2")  # must wait for the WBData
+    engine.run()
+    assert hosts[2].inbox == []
+    network.send(m.Message(m.WB_DATA, 0x4, "h0", "home", data=42))
+    engine.run()
+    grant = hosts[2].inbox[0]
+    assert grant.kind == m.DATA and grant.data == 42
+
+
+def test_putm_from_owner_updates_memory(rig):
+    engine, network, home, hosts, backing = rig
+    send(network, m.GETM, 0x5, "h0")
+    engine.run()
+    send(network, m.PUTM, 0x5, "h0", data=13)
+    engine.run()
+    assert backing.read(0x5) == 13
+    assert hosts[0].kinds()[-1] == m.PUT_ACK
+    assert home.line(0x5).state == "I"
+
+
+def test_stale_putm_is_acked_but_ignored(rig):
+    engine, network, home, hosts, backing = rig
+    send(network, m.GETM, 0x6, "h0")
+    engine.run()
+    send(network, m.GETM, 0x6, "h1")  # ownership chased to h1
+    engine.run()
+    send(network, m.PUTM, 0x6, "h0", data=99)  # stale writeback
+    engine.run()
+    assert backing.read(0x6) != 99
+    assert hosts[0].kinds()[-1] == m.PUT_ACK
+    assert home.line(0x6).owner == "h1"
+
+
+def test_puts_removes_sharer(rig):
+    engine, network, home, hosts, _ = rig
+    send(network, m.GETS, 0x7, "h0")
+    engine.run()
+    send(network, m.GETS, 0x7, "h1")
+    engine.run()
+    network.send(m.Message(m.WB_DATA, 0x7, "h0", "home", data=0))
+    engine.run()
+    send(network, m.PUTS, 0x7, "h1")
+    engine.run()
+    assert home.line(0x7).sharers == {"h0"}

@@ -1,0 +1,60 @@
+"""Harness drivers at reduced scale (full scale runs in benchmarks/)."""
+
+from repro.harness.experiments import (
+    FIG10_COMBOS,
+    combo_name,
+    figure10,
+    figure11,
+    geomean,
+    run_workload,
+)
+from repro.harness.tables import table1, table2, table3
+
+
+def test_geomean():
+    assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
+    assert geomean([2.0]) == 2.0
+
+
+def test_run_workload_returns_populated_result():
+    result = run_workload("fft", scale=0.3, seed=5)
+    assert result.exec_time > 0
+    assert result.stats.ops > 0
+    assert result.extra["workload"] == "fft"
+    assert result.extra["combo"] == "MESI-CXL-MESI"
+
+
+def test_run_workload_deterministic_given_seed():
+    a = run_workload("radix", scale=0.3, seed=9)
+    b = run_workload("radix", scale=0.3, seed=9)
+    assert a.exec_time == b.exec_time
+    assert a.messages == b.messages
+
+
+def test_figure10_small_subset():
+    result = figure10(workloads=["vips", "histogram"], scale=0.4, seeds=(1,))
+    assert result.normalized("vips", FIG10_COMBOS[0]) == 1.0
+    cxl = FIG10_COMBOS[1]
+    assert result.normalized("histogram", cxl) > result.normalized("vips", cxl) - 0.02
+    text = result.format()
+    assert "histogram" in text and "geomean" in text
+
+
+def test_figure11_small_scale():
+    result = figure11(workloads=("histogram", "vips"), scale=0.4)
+    assert result.miss_cycles("histogram", "MESI-CXL-MESI") > 0
+    text = result.format()
+    assert "miss cycles" in text
+    assert "histogram" in text
+
+
+def test_tables_render():
+    assert "BISnpData" in table1()
+    assert "X-Acc" in table2()
+    assert "Table III" in table3()
+    full = table2("MOESI", "CXL", paper_fragment=False)
+    assert "RccRead" not in full and "GetM" in full
+
+
+def test_combo_name_roundtrip():
+    assert combo_name(("MESI", "CXL", "MOESI")) == "MESI-CXL-MOESI"

@@ -1,0 +1,109 @@
+"""Hybrid memory configurations (paper Sec. IV-D4).
+
+Addresses above ``hybrid_local_base`` live in each cluster's own DRAM:
+C3 serves them as the home controller and only the shared (low) region
+crosses CXL -- "remote CXL coherence traffic while local traffic routes
+to existing controllers without additional modification".
+"""
+
+import dataclasses
+
+from repro.cpu.isa import ThreadProgram, fence, load, rmw, store
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+from repro.verify import invariants
+from repro.workloads.patterns import PRIVATE_BASE
+
+
+def hybrid_system(seed=1, **kw):
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO", mcm_b="TSO",
+                                cores_per_cluster=2, seed=seed,
+                                hybrid_local_base=PRIVATE_BASE, **kw)
+    return build_system(config)
+
+
+def test_local_lines_never_cross_cxl():
+    system = hybrid_system()
+    addr = PRIVATE_BASE + 10
+    program = ThreadProgram("t", [store(addr, 5), fence(), load(addr, "r")])
+    result = system.run_threads([program], placement=[0])
+    assert result.per_core_regs[0]["r"] == 5
+    bridge = system.clusters[0].bridge
+    assert bridge.port.requests == 0, "local line leaked onto the CXL fabric"
+    assert addr not in system.home.lines
+
+
+def test_local_lines_fill_faster_than_remote():
+    remote = hybrid_system(seed=2)
+    t_remote = remote.run_threads(
+        [ThreadProgram("t", [load(0x10, "r")])], placement=[0]).exec_time
+    local = hybrid_system(seed=2)
+    t_local = local.run_threads(
+        [ThreadProgram("t", [load(PRIVATE_BASE + 1, "r")])], placement=[0]).exec_time
+    assert t_local < t_remote / 2, (t_local, t_remote)
+
+
+def test_shared_region_still_coherent_across_clusters():
+    system = hybrid_system(seed=3)
+    programs = [ThreadProgram(f"t{i}", [rmw(0x20, 1) for _ in range(8)])
+                for i in range(4)]
+    system.run_threads(programs, placement=[0, 1, 2, 3])
+    check = system.run_threads(
+        [ThreadProgram("c", [load(0x20, "v")])], placement=[2])
+    assert check.per_core_regs[2]["v"] == 32
+
+
+def test_local_evictions_write_local_dram():
+    from repro.sim.config import ClusterConfig, SystemConfig, LINE_BYTES
+
+    tiny = ClusterConfig(cores=1, protocol="MESI", mcm="TSO",
+                         l1_bytes=2 * LINE_BYTES, l1_assoc=1,
+                         llc_bytes=4 * LINE_BYTES, llc_assoc=1)
+    config = SystemConfig(clusters=(tiny, tiny), global_protocol="CXL",
+                          hybrid_local_base=PRIVATE_BASE)
+    system = build_system(config)
+    addrs = [PRIVATE_BASE + i * 4 for i in range(8)]  # thrash one set
+    ops = [store(a, a & 0xFF) for a in addrs]
+    ops.append(fence())
+    ops += [load(a, f"r{a}") for a in addrs]
+    result = system.run_threads([ThreadProgram("t", ops)], placement=[0])
+    for a in addrs:
+        assert result.per_core_regs[0][f"r{a}"] == a & 0xFF
+    backing = system.clusters[0].bridge.local_backing
+    assert any(backing.read(a) == a & 0xFF for a in addrs), \
+        "evictions should have reached local DRAM"
+
+
+def test_mixed_local_and_remote_traffic_with_invariants():
+    system = hybrid_system(seed=4)
+    violations = invariants.attach_monitor(system, period_ticks=3_000)
+    programs = []
+    for tid in range(4):
+        base = PRIVATE_BASE + (1 + tid) * 1024
+        ops = []
+        for i in range(40):
+            if i % 5 == 0:
+                ops.append(rmw(0x30 + i % 3, 1))
+            elif i % 5 in (1, 2):
+                ops.append(store(base + i, tid * 100 + i))
+            else:
+                ops.append(load(base + (i % 20), f"r{i}"))
+        programs.append(ThreadProgram(f"t{tid}", ops))
+    system.run_threads(programs, placement=[0, 1, 2, 3])
+    assert violations == []
+    assert system.quiescent()
+
+
+def test_hybrid_reduces_total_runtime_for_private_heavy_workloads():
+    from repro.workloads import build_workload
+
+    def run(hybrid):
+        config = two_cluster_config(
+            "MESI", "CXL", "MESI", cores_per_cluster=2, seed=5,
+            hybrid_local_base=PRIVATE_BASE if hybrid else None,
+        )
+        system = build_system(config)
+        programs = build_workload("vips", 4, scale=0.5, seed=5)
+        return system.run_threads(programs).exec_time
+
+    assert run(hybrid=True) < 0.7 * run(hybrid=False)

@@ -1,0 +1,107 @@
+"""Invariant monitors + the Rule-II failure-injection experiment (Fig. 4)."""
+
+import pytest
+
+from repro.cpu.isa import ThreadProgram, fence, load, rmw, store
+from repro.errors import ConsistencyViolation
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+from repro.verify import invariants
+
+
+def run_contended(violate_atomicity, seed=0, rounds=12):
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO", mcm_b="TSO",
+                                cores_per_cluster=2, seed=seed)
+    system = build_system(config, violate_atomicity=violate_atomicity)
+    violations = invariants.attach_monitor(system, period_ticks=2_000)
+    programs = [
+        ThreadProgram(f"t{i}", [op for r in range(rounds)
+                                for op in (store(0x7, i * 100 + r), load(0x7, f"r{r}"))])
+        for i in range(4)
+    ]
+    try:
+        system.run_threads(programs, placement=[0, 1, 2, 3])
+    except Exception as exc:  # deadlocks also count as detections
+        violations.append(exc)
+    return system, violations
+
+
+def test_clean_run_has_no_violations():
+    system, violations = run_contended(violate_atomicity=False)
+    assert violations == []
+    invariants.check_all(system)
+
+
+def test_rule2_violation_detected():
+    """Fig. 4: acking snoops before local recall completes breaks SWMR
+    or value coherence, and the monitors catch it."""
+    detected = 0
+    for seed in range(6):
+        _system, violations = run_contended(violate_atomicity=True, seed=seed)
+        detected += len(violations)
+        if detected:
+            break
+    assert detected > 0, "Rule-II violation never manifested across seeds"
+
+
+def test_swmr_detects_planted_double_writer():
+    config = two_cluster_config("MESI", "CXL", "MESI")
+    system = build_system(config)
+    system.clusters[0].bridge.cache.insert(0x1, state="M", data=1)
+    system.clusters[1].bridge.cache.insert(0x1, state="M", data=2)
+    with pytest.raises(ConsistencyViolation, match="SWMR"):
+        invariants.check_swmr(system)
+
+
+def test_inclusion_detects_orphan_l1_line():
+    config = two_cluster_config("MESI", "CXL", "MESI")
+    system = build_system(config)
+    system.clusters[0].l1s[0].cache.insert(0x2, state="S", data=0)
+    with pytest.raises(ConsistencyViolation, match="inclusion"):
+        invariants.check_inclusion(system)
+
+
+def test_value_coherence_detects_divergent_sharer():
+    config = two_cluster_config("MESI", "CXL", "MESI")
+    system = build_system(config)
+    bridge = system.clusters[0].bridge
+    bridge.cache.insert(0x3, state="S", data=5)
+    l1_line = system.clusters[0].l1s[0].cache.insert(0x3, state="S", data=9)
+    system.backing.write(0x3, 5)
+    with pytest.raises(ConsistencyViolation, match="value"):
+        invariants.check_value_coherence(system)
+
+
+def test_compound_forbidden_state_detected():
+    config = two_cluster_config("MESI", "CXL", "MESI")
+    system = build_system(config)
+    bridge = system.clusters[0].bridge
+    line = bridge.cache.insert(0x4, state="I", data=None)
+    rec = bridge.dir_record(line)
+    rec.sharers.add("l1.0.0")  # local holder with global I: inclusion broken
+    with pytest.raises(ConsistencyViolation, match="compound"):
+        invariants.check_compound_states(system)
+
+
+def test_invariants_hold_after_heavy_mixed_run():
+    config = two_cluster_config("MESIF", "CXL", "MOESI", mcm_a="WEAK", mcm_b="TSO",
+                                cores_per_cluster=2, seed=5)
+    system = build_system(config)
+    violations = invariants.attach_monitor(system, period_ticks=3_000)
+    programs = []
+    for tid in range(4):
+        ops = []
+        for i in range(30):
+            addr = 0x10 + (i + tid) % 6
+            if (i + tid) % 4 == 0:
+                ops.append(store(addr, tid * 1000 + i))
+            elif (i + tid) % 4 == 1:
+                ops.append(rmw(addr, 1))
+            else:
+                ops.append(load(addr, f"r{i}"))
+            if i % 7 == 0:
+                ops.append(fence())
+        programs.append(ThreadProgram(f"t{tid}", ops))
+    system.run_threads(programs, placement=[0, 1, 2, 3])
+    assert violations == []
+    invariants.check_all(system)

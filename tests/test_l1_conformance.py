@@ -1,0 +1,192 @@
+"""L1 controller conformance: scripted directory drives one cache.
+
+Pins the transient-state behaviours the integration suites reach only
+probabilistically: the eviction races (Fwd/Inv hitting MI_A), the
+grant-overtaking forward stall, the use-once fill rule, and upgrade
+demotions.
+"""
+
+import pytest
+
+from repro.protocols import messages as m
+from repro.protocols.variants import MESI, MOESI
+from repro.sim.cache import CacheArray
+from repro.sim.config import LINE_BYTES
+from repro.sim.engine import Engine
+from repro.sim.l1 import L1Controller
+from repro.sim.network import Link, Network, Node
+
+
+class ScriptedDir(Node):
+    """Records everything the L1 sends; replies are scripted by tests."""
+
+    def __init__(self, engine, network):
+        super().__init__(engine, network, "dir")
+        self.inbox = []
+
+    def handle_message(self, msg):
+        self.inbox.append(msg)
+
+    def kinds(self):
+        return [msg.kind for msg in self.inbox]
+
+
+class Peer(ScriptedDir):
+    def __init__(self, engine, network, node_id="peer"):
+        Node.__init__(self, engine, network, node_id)
+        self.inbox = []
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    network = Network(engine, seed=1)
+    directory = ScriptedDir(engine, network)
+    peer = Peer(engine, network)
+    l1 = L1Controller(engine, network, "l1", "dir", MESI,
+                      size_bytes=2 * LINE_BYTES, assoc=1,
+                      hit_latency=500)
+    link = Link(latency=1000)
+    network.connect("l1", "dir", link)
+    network.connect("l1", "peer", link)
+    return engine, network, directory, peer, l1
+
+
+def grant(network, addr, state, data=0):
+    network.send(m.Message(m.DATA, addr, "dir", "l1", meta=state, data=data))
+
+
+def test_load_miss_sends_gets_and_fills(rig):
+    engine, network, directory, peer, l1 = rig
+    got = []
+    l1.core_request("LOAD", 0x1, 0, got.append)
+    engine.run()
+    assert directory.kinds() == [m.GETS]
+    grant(network, 0x1, "E", data=7)
+    engine.run()
+    assert got == [7]
+    assert l1.line_state(0x1) == "E"
+
+
+def test_store_hit_on_e_upgrades_silently(rig):
+    engine, network, directory, peer, l1 = rig
+    l1.core_request("LOAD", 0x1, 0, lambda v: None)
+    engine.run()
+    grant(network, 0x1, "E", data=0)
+    engine.run()
+    l1.core_request("STORE", 0x1, 5, lambda v: None)
+    engine.run()
+    assert l1.line_state(0x1) == "M"
+    assert directory.kinds() == [m.GETS]  # no GetM needed
+
+
+def test_upgrade_from_s_keeps_data(rig):
+    engine, network, directory, peer, l1 = rig
+    l1.core_request("LOAD", 0x1, 0, lambda v: None)
+    engine.run()
+    grant(network, 0x1, "S", data=3)
+    engine.run()
+    l1.core_request("STORE", 0x1, 9, lambda v: None)
+    engine.run()
+    assert l1.line_state(0x1) == "SM_A"
+    assert directory.kinds() == [m.GETS, m.GETM]
+    grant(network, 0x1, "M", data=None)  # no-data grant: cache was sharer
+    engine.run()
+    line = l1.cache.peek(0x1)
+    assert line.state == "M" and line.data == 9
+
+
+def test_inv_during_upgrade_demotes_and_needs_data(rig):
+    engine, network, directory, peer, l1 = rig
+    l1.core_request("LOAD", 0x1, 0, lambda v: None)
+    engine.run()
+    grant(network, 0x1, "S", data=3)
+    engine.run()
+    l1.core_request("STORE", 0x1, 9, lambda v: None)
+    engine.run()
+    network.send(m.Message(m.INV, 0x1, "dir", "l1"))
+    engine.run()
+    assert directory.kinds()[-1] == m.INV_ACK
+    assert l1.line_state(0x1) == "IM_D"
+    grant(network, 0x1, "M", data=4)  # fresh data now required
+    engine.run()
+    line = l1.cache.peek(0x1)
+    assert line.state == "M" and line.data == 9  # queued store applied
+
+
+def test_use_once_fill_after_inv_in_is_d(rig):
+    engine, network, directory, peer, l1 = rig
+    got = []
+    l1.core_request("LOAD", 0x1, 0, got.append)
+    engine.run()
+    network.send(m.Message(m.INV, 0x1, "dir", "l1"))  # races our grant
+    engine.run()
+    assert directory.kinds() == [m.GETS, m.INV_ACK]
+    grant(network, 0x1, "S", data=7)
+    engine.run()
+    assert got == [7]  # the load consumed the fill once...
+    assert l1.line_state(0x1) == "I"  # ...but the line was not kept
+
+
+def test_fwd_stalls_until_fill_then_serves(rig):
+    engine, network, directory, peer, l1 = rig
+    l1.core_request("STORE", 0x1, 6, lambda v: None)
+    engine.run()
+    assert directory.kinds() == [m.GETM]
+    # The directory already granted us M (in flight) and forwarded the
+    # next requester at us -- the forward arrives first.
+    network.send(m.Message(m.FWD_GETM, 0x1, "dir", "l1", extra={"req": "peer"}))
+    engine.run()
+    assert peer.inbox == []  # stalled in the MSHR
+    grant(network, 0x1, "M", data=0)
+    engine.run()
+    assert [msg.kind for msg in peer.inbox] == [m.DATA_OWNER]
+    assert peer.inbox[0].data == 6  # served after our store applied
+    assert l1.line_state(0x1) == "I"
+
+
+def test_eviction_race_fwd_gets_in_mi_a(rig):
+    engine, network, directory, peer, l1 = rig
+    l1.core_request("STORE", 0x1, 6, lambda v: None)
+    engine.run()
+    grant(network, 0x1, "M", data=0)
+    engine.run()
+    # Conflict-miss another line in the 1-way set: eviction starts.
+    l1.core_request("LOAD", 0x3, 0, lambda v: None)
+    engine.run()
+    assert l1.line_state(0x1) == "MI_A"
+    assert m.PUTM in directory.kinds()
+    # The dir forwards a read at us while our PutM is in flight.
+    network.send(m.Message(m.FWD_GETS, 0x1, "dir", "l1", extra={"req": "peer"}))
+    engine.run()
+    assert [msg.kind for msg in peer.inbox] == [m.DATA_OWNER]
+    assert peer.inbox[0].data == 6
+    assert l1.line_state(0x1) == "II_A"
+    network.send(m.Message(m.PUT_ACK, 0x1, "dir", "l1"))
+    engine.run()
+    assert l1.line_state(0x1) == "I"
+    # The stalled 0x3 miss proceeds once the way is free.
+    assert directory.kinds().count(m.GETS) == 1
+
+
+def test_moesi_owner_keeps_o_on_fwd_gets():
+    engine = Engine()
+    network = Network(engine, seed=1)
+    directory = ScriptedDir(engine, network)
+    peer = Peer(engine, network)
+    l1 = L1Controller(engine, network, "l1", "dir", MOESI,
+                      size_bytes=4 * LINE_BYTES, assoc=2, hit_latency=500)
+    link = Link(latency=1000)
+    network.connect("l1", "dir", link)
+    network.connect("l1", "peer", link)
+    l1.core_request("STORE", 0x1, 8, lambda v: None)
+    engine.run()
+    network.send(m.Message(m.DATA, 0x1, "dir", "l1", meta="M", data=0))
+    engine.run()
+    network.send(m.Message(m.FWD_GETS, 0x1, "dir", "l1", extra={"req": "peer"}))
+    engine.run()
+    assert l1.line_state(0x1) == "O"
+    assert [msg.kind for msg in peer.inbox] == [m.DATA_OWNER]
+    # MOESI owner acks without writing data back to the directory.
+    assert directory.kinds()[-1] == m.OWNER_ACK
+    assert directory.inbox[-1].extra["kept"] == "O"

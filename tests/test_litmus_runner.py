@@ -1,0 +1,81 @@
+"""Litmus tests executed on the full simulator (Table IV methodology).
+
+Every observed outcome must lie in the compound model's allowed set;
+with synchronization removed, forbidden outcomes must (eventually, over
+enough seeds) appear -- the paper's control experiment.
+"""
+
+import os
+
+import pytest
+
+from repro.verify.litmus import IRIW, LB, MP, SB, TABLE4_TESTS, TWO_2W
+from repro.verify.runner import run_litmus, thread_placement
+
+RUNS = int(os.environ.get("REPRO_LITMUS_RUNS", "40"))
+
+
+def test_thread_placement_splits_clusters():
+    assert thread_placement(2, 1) == [0, 1]
+    assert thread_placement(4, 2) == [0, 2, 1, 3]
+
+
+@pytest.mark.parametrize("test", TABLE4_TESTS, ids=lambda t: t.name)
+def test_homogeneous_weak_mesi_cxl_mesi(test):
+    result = run_litmus(test, ("MESI", "CXL", "MESI"), ("WEAK", "WEAK"), runs=RUNS)
+    assert result.passed, result.summary()
+
+
+@pytest.mark.parametrize("test", [MP, SB, LB], ids=lambda t: t.name)
+def test_heterogeneous_protocols_moesi(test):
+    result = run_litmus(test, ("MESI", "CXL", "MOESI"), ("WEAK", "WEAK"), runs=RUNS)
+    assert result.passed, result.summary()
+
+
+@pytest.mark.parametrize("test", [MP, SB], ids=lambda t: t.name)
+def test_heterogeneous_mcms_tso_arm(test):
+    result = run_litmus(test, ("MESI", "CXL", "MESI"), ("TSO", "WEAK"), runs=RUNS)
+    assert result.passed, result.summary()
+
+
+def test_iriw_across_protocols_and_mcms():
+    result = run_litmus(IRIW, ("MESI", "CXL", "MOESI"), ("TSO", "WEAK"), runs=RUNS)
+    assert result.passed, result.summary()
+
+
+def test_global_mesi_baseline_also_correct():
+    result = run_litmus(MP, ("MESI", "MESI", "MESI"), ("WEAK", "WEAK"), runs=RUNS)
+    assert result.passed, result.summary()
+
+
+def test_tso_without_stst_fence_still_passes():
+    """ArMOR refinement: TSO writers need no store-store fence (Sec. VI-A)."""
+    result = run_litmus(
+        MP, ("MESI", "CXL", "MESI"), ("TSO", "WEAK"), runs=RUNS,
+        drop_orders={0: {("st", "st")}},
+    )
+    assert result.passed, result.summary()
+
+
+def test_unsynced_mp_eventually_shows_forbidden_outcome():
+    """Control: removing sync must surface the forbidden outcome."""
+    hits = 0
+    for seed in range(12):
+        result = run_litmus(
+            MP, ("MESI", "CXL", "MESI"), ("WEAK", "WEAK"),
+            runs=25, sync=False, seed0=seed,
+        )
+        assert not result.violations, result.summary()
+        hits += len(result.forbidden_observed)
+        if hits:
+            break
+    assert hits > 0, "forbidden MP outcome never observed without sync"
+
+
+def test_unsynced_runs_stay_within_relaxed_allowed_set():
+    for test in (SB, LB, TWO_2W):
+        result = run_litmus(
+            test, ("MESI", "CXL", "MESI"), ("WEAK", "WEAK"),
+            runs=RUNS, sync=False,
+        )
+        assert not result.violations, result.summary()

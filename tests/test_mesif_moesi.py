@@ -1,0 +1,136 @@
+"""Directed tests for the MESIF F state and MOESI O state.
+
+These pin the intra-cluster optimizations Fig. 10 says get dwarfed by
+CXL latencies -- they must still be *correct* and actually engaged:
+MESIF's forwarder serves cache-to-cache without a directory data
+access; MOESI's owner keeps dirty data through read sharing without
+writing back.
+"""
+
+from repro.cpu.isa import ThreadProgram, fence, load, store
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+
+
+def build(local="MESIF", cores=3, seed=1):
+    config = two_cluster_config(local, "CXL", "MESI", mcm_a="TSO", mcm_b="TSO",
+                                cores_per_cluster=cores, seed=seed)
+    return build_system(config)
+
+
+def l1_states(system, cluster, addr):
+    return {l1.node_id: l1.line_state(addr) for l1 in system.clusters[cluster].l1s}
+
+
+def test_mesif_second_reader_becomes_forwarder():
+    system = build("MESIF")
+    system.run_threads([ThreadProgram("a", [load(0x10, "r")])], placement=[0])
+    assert l1_states(system, 0, 0x10)["l1.0.0"] == "E"
+    system.run_threads([ThreadProgram("b", [load(0x10, "r")])], placement=[1])
+    states = l1_states(system, 0, 0x10)
+    # The former E holder demotes to S; the newest reader holds F.
+    assert states["l1.0.0"] == "S"
+    assert states["l1.0.1"] == "F"
+    rec = system.clusters[0].bridge.dir_record(
+        system.clusters[0].bridge.cache.peek(0x10))
+    assert rec.f_holder == "l1.0.1"
+
+
+def test_mesif_forwarder_chain_moves_f_designation():
+    system = build("MESIF")
+    for core in (0, 1, 2):
+        system.run_threads([ThreadProgram(f"t{core}", [load(0x11, "r")])],
+                           placement=[core])
+    states = l1_states(system, 0, 0x11)
+    assert states["l1.0.2"] == "F"
+    assert states["l1.0.0"] == "S" and states["l1.0.1"] == "S"
+
+
+def test_mesif_forwarder_supplies_data_cache_to_cache():
+    from repro.protocols import messages as m
+    from repro.sim.trace import MessageTracer
+
+    system = build("MESIF")
+    system.run_threads([ThreadProgram("w", [store(0x12, 9), fence()])],
+                       placement=[0])
+    system.run_threads([ThreadProgram("a", [load(0x12, "r")])], placement=[1])
+    tracer = MessageTracer(system.network, addrs={0x12})
+    result = system.run_threads([ThreadProgram("b", [load(0x12, "r")])],
+                                placement=[2])
+    assert result.per_core_regs[2]["r"] == 9
+    kinds = [e.msg_kind for e in tracer.entries]
+    assert m.FWD_GETS in kinds  # directory delegated to the F holder
+    assert m.DATA_OWNER in kinds  # peer-to-peer data transfer
+
+
+def test_moesi_owner_keeps_dirty_data_through_sharing():
+    system = build("MOESI")
+    system.run_threads([ThreadProgram("w", [store(0x20, 5), fence()])],
+                       placement=[0])
+    system.run_threads([ThreadProgram("r", [load(0x20, "r")])], placement=[1])
+    states = l1_states(system, 0, 0x20)
+    assert states["l1.0.0"] == "O"  # dirty owner retained
+    assert states["l1.0.1"] == "S"
+    # The cluster cache never got a writeback: it still marks the line
+    # stale (the O owner holds the authoritative copy).
+    bridge = system.clusters[0].bridge
+    assert bridge.is_stale(bridge.cache.peek(0x20))
+
+
+def test_moesi_owner_serves_subsequent_readers():
+    system = build("MOESI")
+    system.run_threads([ThreadProgram("w", [store(0x21, 7), fence()])],
+                       placement=[0])
+    for core in (1, 2):
+        result = system.run_threads(
+            [ThreadProgram(f"r{core}", [load(0x21, "r")])], placement=[core])
+        assert result.per_core_regs[core]["r"] == 7
+    assert l1_states(system, 0, 0x21)["l1.0.0"] == "O"
+
+
+def test_moesi_o_owner_upgrade_invalidates_sharers():
+    system = build("MOESI")
+    system.run_threads([ThreadProgram("w", [store(0x22, 1), fence()])],
+                       placement=[0])
+    system.run_threads([ThreadProgram("r", [load(0x22, "r")])], placement=[1])
+    # The O owner writes again: it upgrades O -> M, invalidating sharers.
+    system.run_threads([ThreadProgram("w2", [store(0x22, 2), fence()])],
+                       placement=[0])
+    states = l1_states(system, 0, 0x22)
+    assert states["l1.0.0"] == "M"
+    assert states["l1.0.1"] == "I"
+    result = system.run_threads([ThreadProgram("c", [load(0x22, "r")])],
+                                placement=[1])
+    assert result.per_core_regs[1]["r"] == 2
+
+
+def test_moesi_o_eviction_writes_back_dirty_data():
+    system = build("MOESI")
+    system.run_threads([ThreadProgram("w", [store(0x23, 9), fence()])],
+                       placement=[0])
+    system.run_threads([ThreadProgram("r", [load(0x23, "r")])], placement=[1])
+    l1 = system.clusters[0].l1s[0]
+    line = l1.cache.peek(0x23)
+    assert line.state == "O" and line.dirty
+    # Force the eviction directly (capacity evictions are tested at scale
+    # elsewhere) and let the PutO flow settle.
+    l1._start_eviction(line)
+    system.engine.run()
+    bridge = system.clusters[0].bridge
+    cxl_line = bridge.cache.peek(0x23)
+    assert cxl_line.data == 9 and cxl_line.dirty
+    assert not bridge.is_stale(cxl_line)
+
+
+def test_moesi_cross_cluster_read_recalls_o_data():
+    system = build("MOESI")
+    system.run_threads([ThreadProgram("w", [store(0x24, 3), fence()])],
+                       placement=[0])
+    system.run_threads([ThreadProgram("r", [load(0x24, "r")])], placement=[1])
+    # Cluster 1 reads: C3 must recall the dirty data from the O owner
+    # (the Fig. 3 scenario) and the owner keeps its O state.
+    result = system.run_threads([ThreadProgram("x", [load(0x24, "r")])],
+                                placement=[3])
+    assert result.per_core_regs[3]["r"] == 3
+    assert l1_states(system, 0, 0x24)["l1.0.0"] == "O"
+    assert system.compound_state(0, 0x24) == ("O", "S")  # Fig. 3, absorbed

@@ -1,0 +1,96 @@
+"""RCC (release-consistency) semantics: the paper's Sec. IV-D2 and Fig. 8."""
+
+from repro.cpu.isa import (
+    ThreadProgram,
+    load,
+    load_acquire,
+    store,
+    store_release,
+)
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+
+
+def rcc_system(cores=2, seed=1, peer="MESI"):
+    config = two_cluster_config("RCC", "CXL", peer, mcm_a="RCC", mcm_b="TSO",
+                                cores_per_cluster=cores, seed=seed)
+    return build_system(config)
+
+
+def test_rcc_plain_reads_may_stay_stale_until_acquire():
+    """Footnote 5: host caches may hold stale data between sync points."""
+    system = rcc_system()
+    warm = ThreadProgram("w", [store(0x10, 1), load(0x10, "warm")])
+    system.run_threads([warm], placement=[0])
+    # Peer cluster overwrites the line.
+    poke = ThreadProgram("p", [store(0x10, 2)])
+    system.run_threads([poke], placement=[2])
+    # A plain load on the RCC core may hit its stale L1 copy...
+    stale = system.run_threads(
+        [ThreadProgram("s", [load(0x10, "r")])], placement=[0])
+    assert stale.per_core_regs[0]["r"] in (1, 2)
+    # ...but an acquire self-invalidates and must see the new value.
+    fresh = system.run_threads(
+        [ThreadProgram("f", [load_acquire(0x10, "r")])], placement=[0])
+    assert fresh.per_core_regs[0]["r"] == 2
+
+
+def test_rcc_release_publishes_to_remote_cluster():
+    """Fig. 8: the store-release acquires global ownership before
+    completing, so a consumer that sees the flag sees the data."""
+    system = rcc_system()
+    producer = ThreadProgram("p", [
+        store(0x20, 7), store(0x21, 8), store_release(0x2F, 1),
+    ])
+    system.run_threads([producer], placement=[0])
+    consumer = ThreadProgram("c", [
+        load_acquire(0x2F, "flag"), load(0x20, "a"), load(0x21, "b"),
+    ])
+    result = system.run_threads([consumer], placement=[2])
+    regs = result.per_core_regs[2]
+    assert regs == {"flag": 1, "a": 7, "b": 8}
+
+
+def test_rcc_snoops_answered_without_host_involvement():
+    """C3 replies to BISnp* directly from the CXL cache for RCC hosts."""
+    system = rcc_system()
+    writer = ThreadProgram("w", [store(0x30, 5)])
+    system.run_threads([writer], placement=[0])
+    bridge = system.clusters[0].bridge
+    recalls_before = bridge.recalls_done
+    # Remote read forces a BISnpData at the RCC cluster.
+    reader = ThreadProgram("r", [load(0x30, "r")])
+    result = system.run_threads([reader], placement=[2])
+    assert result.per_core_regs[2]["r"] == 5
+    assert bridge.recalls_done == recalls_before, \
+        "RCC snoops must not reach into host caches"
+
+
+def test_rcc_rmw_is_atomic_across_clusters():
+    from repro.cpu.isa import rmw
+
+    system = rcc_system()
+    programs = [ThreadProgram(f"t{i}", [rmw(0x40, 1) for _ in range(10)])
+                for i in range(4)]
+    system.run_threads(programs, placement=[0, 1, 2, 3])
+    check = system.run_threads(
+        [ThreadProgram("c", [load_acquire(0x40, "v")])], placement=[0])
+    assert check.per_core_regs[0]["v"] == 40
+
+
+def test_rcc_write_through_keeps_cluster_cache_current():
+    system = rcc_system()
+    t = ThreadProgram("t", [store(0x50, 9), load(0x50, "r")])
+    result = system.run_threads([t], placement=[0])
+    assert result.per_core_regs[0]["r"] == 9
+    line = system.clusters[0].bridge.cache.peek(0x50)
+    assert line is not None and line.data == 9 and line.dirty
+
+
+def test_rcc_against_moesi_peer():
+    system = rcc_system(peer="MOESI", seed=4)
+    producer = ThreadProgram("p", [store(0x60, 3), store_release(0x6F, 1)])
+    system.run_threads([producer], placement=[0])
+    consumer = ThreadProgram("c", [load_acquire(0x6F, "f"), load(0x60, "d")])
+    result = system.run_threads([consumer], placement=[2])
+    assert result.per_core_regs[2] == {"f": 1, "d": 3}

@@ -1,0 +1,62 @@
+"""Stats collectors and run reports."""
+
+from repro.sim.config import TICKS_PER_NS, two_cluster_config
+from repro.sim.system import build_system
+from repro.stats.collectors import LATENCY_BINS, OpStats, latency_bin
+from repro.stats.report import render_report
+from repro.workloads import build_workload
+
+
+def test_latency_bins_match_paper_ranges():
+    assert latency_bin(10 * TICKS_PER_NS) == "low"
+    assert latency_bin(74 * TICKS_PER_NS) == "low"
+    assert latency_bin(75 * TICKS_PER_NS) == "medium"
+    assert latency_bin(399 * TICKS_PER_NS) == "medium"
+    assert latency_bin(400 * TICKS_PER_NS) == "high"
+    assert latency_bin(5000 * TICKS_PER_NS) == "high"
+
+
+def test_opstats_records_and_filters():
+    stats = OpStats()
+    stats.record_op("LOAD", 10 * TICKS_PER_NS, hit=True)
+    stats.record_op("LOAD", 300 * TICKS_PER_NS, hit=False)
+    stats.record_op("STORE", 500 * TICKS_PER_NS, hit=False)
+    stats.record_op("RMW", 600 * TICKS_PER_NS, hit=False)
+    assert stats.ops == 4 and stats.hits == 1 and stats.misses == 3
+    assert stats.miss_count(group="load") == 1
+    assert stats.miss_count(bin_name="high") == 2
+    assert stats.miss_cycles(group="store", bin_name="high") == 500 * TICKS_PER_NS
+    assert stats.miss_cycles() == (300 + 500 + 600) * TICKS_PER_NS
+
+
+def test_opstats_merge():
+    a, b = OpStats(), OpStats()
+    a.record_op("LOAD", 100 * TICKS_PER_NS, hit=False)
+    b.record_op("LOAD", 100 * TICKS_PER_NS, hit=False)
+    b.record_op("STORE", 10 * TICKS_PER_NS, hit=True)
+    a.merge(b)
+    assert a.ops == 3 and a.misses == 2
+    assert a.miss_count(group="load") == 2
+
+
+def test_breakdown_keys():
+    stats = OpStats()
+    stats.record_op("LOAD_ACQ", 500 * TICKS_PER_NS, hit=False)
+    stats.record_op("STORE_REL", 500 * TICKS_PER_NS, hit=False)
+    breakdown = stats.breakdown()
+    assert ("load", "high") in breakdown
+    assert ("store", "high") in breakdown
+
+
+def test_render_report_contains_all_sections():
+    config = two_cluster_config("MESI", "CXL", "MESI", cores_per_cluster=2)
+    system = build_system(config)
+    programs = build_workload("fft", 4, scale=0.3)
+    result = system.run_threads(programs)
+    report = render_report(system, result, title="fft")
+    assert "execution time" in report
+    assert "c3.0" in report and "c3.1" in report
+    assert "home" in report
+    assert "memory device" in report
+    for bin_name, _bound in LATENCY_BINS:
+        assert bin_name in report

@@ -1,0 +1,84 @@
+"""Tests for the protocol tracer."""
+
+from repro.cpu.isa import ThreadProgram, fence, load, rmw, store
+from repro.protocols import messages as m
+from repro.sim.config import two_cluster_config
+from repro.sim.system import build_system
+from repro.sim.trace import MessageTracer
+
+
+def traced_system(**kw):
+    config = two_cluster_config("MESI", "CXL", "MESI", cores_per_cluster=1,
+                                **kw)
+    system = build_system(config)
+    return system
+
+
+def test_tracer_records_cxl_flow():
+    system = traced_system()
+    tracer = MessageTracer(system.network, addrs={0x10})
+    system.run_threads([ThreadProgram("t", [store(0x10, 1)])], placement=[0])
+    kinds = [e.msg_kind for e in tracer.entries]
+    assert m.GETM in kinds
+    assert m.MEM_RD in kinds
+    assert m.CMP_M in kinds
+    assert m.DATA in kinds
+
+
+def test_tracer_filters_by_address():
+    system = traced_system()
+    tracer = MessageTracer(system.network, addrs={0x99})
+    system.run_threads([ThreadProgram("t", [store(0x10, 1)])], placement=[0])
+    assert tracer.entries == []
+
+
+def test_tracer_filters_by_kind():
+    system = traced_system()
+    tracer = MessageTracer(system.network, kinds={m.MEM_RD})
+    system.run_threads([ThreadProgram("t", [load(0x10, "r")])], placement=[0])
+    assert tracer.entries
+    assert all(e.msg_kind == m.MEM_RD for e in tracer.entries)
+
+
+def test_timeline_and_lanes_render():
+    system = traced_system(seed=4)
+    tracer = MessageTracer(system.network, addrs={0x20})
+    programs = [ThreadProgram(f"t{i}", [rmw(0x20, 1), fence()]) for i in range(2)]
+    system.run_threads(programs, placement=[0, 1])
+    timeline = tracer.timeline(addr=0x20)
+    assert "MemRd" in timeline
+    assert "->" in timeline
+    lanes = tracer.lanes(0x20)
+    assert "time(ns)" in lanes
+    assert "home" in lanes
+    assert len(lanes.splitlines()) > 4
+
+
+def test_detach_restores_network():
+    system = traced_system()
+    original = system.network.send
+    tracer = MessageTracer(system.network)
+    assert system.network.send == tracer._send
+    tracer.detach()
+    assert system.network.send == original
+    # And traffic after detach is not recorded.
+    system.run_threads([ThreadProgram("t", [store(0x10, 1)])], placement=[0])
+    assert tracer.entries == []
+
+
+def test_conflict_handshake_visible_in_trace():
+    found = False
+    for seed in range(20):
+        system = traced_system(seed=seed, cross_jitter_ns=60.0)
+        tracer = MessageTracer(system.network, addrs={0x1})
+        programs = [
+            ThreadProgram(f"t{t}", [op for i in range(10)
+                                    for op in (load(0x1, f"r{i}"), rmw(0x1, 1))])
+            for t in range(2)
+        ]
+        system.run_threads(programs, placement=[0, 1])
+        if tracer.count(kind=m.BI_CONFLICT):
+            assert tracer.count(kind=m.BI_CONFLICT_ACK) >= 1
+            found = True
+            break
+    assert found, "no conflict handshake captured in 20 seeds"

@@ -1,0 +1,96 @@
+"""Workload catalogue and pattern-generator tests."""
+
+import pytest
+
+from repro.cpu.isa import RMW, STORE, STORE_REL
+from repro.workloads import WORKLOADS, build_workload, workload_names
+from repro.workloads.patterns import LOCK_BASE, PATTERNS, PRIVATE_BASE, SHARED_BASE
+
+
+def test_catalogue_has_33_kernels_across_three_suites():
+    assert len(WORKLOADS) == 33
+    assert len(workload_names("splash4")) == 13
+    assert len(workload_names("parsec")) == 12
+    assert len(workload_names("phoenix")) == 8
+
+
+def test_every_workload_builds_valid_programs():
+    for name in workload_names():
+        programs = build_workload(name, num_threads=4, scale=0.2, seed=3)
+        assert len(programs) == 4
+        for program in programs:
+            program.validate()
+            assert len(program.ops) >= 10
+
+
+def test_builds_are_deterministic_per_seed():
+    a = build_workload("histogram", 2, scale=0.3, seed=7)
+    b = build_workload("histogram", 2, scale=0.3, seed=7)
+    c = build_workload("histogram", 2, scale=0.3, seed=8)
+    assert [str(op) for op in a[0].ops] == [str(op) for op in b[0].ops]
+    assert [str(op) for op in a[0].ops] != [str(op) for op in c[0].ops]
+
+
+def test_scale_controls_op_count():
+    small = build_workload("fft", 2, scale=0.2)
+    large = build_workload("fft", 2, scale=1.0)
+    assert len(large[0].ops) > 2 * len(small[0].ops)
+
+
+def test_threads_have_disjoint_private_regions():
+    programs = build_workload("vips", 4, scale=0.5)
+    regions = []
+    for program in programs:
+        addrs = {op.addr for op in program.ops if op.addr >= PRIVATE_BASE}
+        regions.append(addrs)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (regions[i] & regions[j])
+
+
+def test_streaming_touches_no_shared_lines():
+    programs = build_workload("blackscholes", 4, scale=0.5)
+    for program in programs:
+        assert all(op.addr >= PRIVATE_BASE for op in program.ops if op.addr)
+
+
+def test_hotspot_rmws_land_on_shared_lines():
+    programs = build_workload("histogram", 4, scale=1.0)
+    rmw_addrs = {
+        op.addr for p in programs for op in p.ops
+        if op.kind == RMW and op.addr >= SHARED_BASE
+    }
+    assert rmw_addrs, "histogram must hammer shared bins"
+    assert all(a < PRIVATE_BASE for a in rmw_addrs)
+
+
+def test_migratory_acquire_release_bracketing():
+    programs = build_workload("barnes", 2, scale=1.0)
+    ops = programs[0].ops
+    rmw_positions = [i for i, op in enumerate(ops)
+                     if op.kind == RMW and LOCK_BASE <= op.addr < SHARED_BASE]
+    assert rmw_positions, "barnes visits locked objects"
+    # Each lock acquire is eventually followed by a release store of 0.
+    for pos in rmw_positions:
+        lock = ops[pos].addr
+        tail = ops[pos + 1:pos + 16]
+        assert any(op.kind in (STORE, STORE_REL) and op.addr == lock and op.value == 0
+                   for op in tail)
+
+
+def test_sensitivity_labels_cover_expected_extremes():
+    assert WORKLOADS["histogram"].cxl_sensitivity == "high"
+    assert WORKLOADS["barnes"].cxl_sensitivity == "high"
+    assert WORKLOADS["lu-ncont"].cxl_sensitivity == "high"
+    assert WORKLOADS["vips"].cxl_sensitivity == "low"
+
+
+def test_all_patterns_registered():
+    used = {spec.pattern for spec in WORKLOADS.values()}
+    assert used <= set(PATTERNS)
+    assert used == set(PATTERNS), "every pattern should be exercised"
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        build_workload("no-such-kernel", 2)
