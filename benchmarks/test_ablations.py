@@ -10,6 +10,7 @@
 """
 
 from repro.cpu.isa import ThreadProgram, fence, load, rmw, store
+from repro.harness.sweep import run_cells
 from repro.sim.config import two_cluster_config
 from repro.sim.system import build_system
 from repro.verify import invariants
@@ -21,24 +22,27 @@ def _contended_system(violate_atomicity, seed=0):
     return build_system(config, violate_atomicity=violate_atomicity)
 
 
+def _rule2_cell(seed: int) -> int:
+    """Sweep cell: violation/failure count for one contended seed."""
+    system = _contended_system(violate_atomicity=True, seed=seed)
+    violations = invariants.attach_monitor(system, period_ticks=2_000)
+    programs = [
+        ThreadProgram(f"t{i}", [op for r in range(12) for op in
+                                (store(0x7, i * 100 + r), load(0x7, f"r{r}"))])
+        for i in range(4)
+    ]
+    try:
+        system.run_threads(programs, placement=[0, 1, 2, 3])
+    except Exception:
+        return 1
+    return len(violations)
+
+
 def test_ablation_rule2_off_breaks_consistency(benchmark, save_result):
     def run():
-        detections = 0
-        for seed in range(6):
-            system = _contended_system(violate_atomicity=True, seed=seed)
-            violations = invariants.attach_monitor(system, period_ticks=2_000)
-            programs = [
-                ThreadProgram(f"t{i}", [op for r in range(12) for op in
-                                        (store(0x7, i * 100 + r), load(0x7, f"r{r}"))])
-                for i in range(4)
-            ]
-            try:
-                system.run_threads(programs, placement=[0, 1, 2, 3])
-            except Exception:
-                detections += 1
-                continue
-            detections += len(violations)
-        return detections
+        per_seed = run_cells(_rule2_cell,
+                             {seed: dict(seed=seed) for seed in range(6)})
+        return sum(per_seed.values())
 
     detections = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result("ablation_rule2",
@@ -79,25 +83,31 @@ def test_ablation_dirty_transfer_message_cost(benchmark, save_result):
     assert cxl_t > 1.4 * mesi_t, "CXL dirty transfer should cost ~2x delays"
 
 
+def _conflict_cell(seed: int) -> int:
+    """Sweep cell: BIConflict handshakes for one contended seed (also
+    checks every atomic increment survived)."""
+    config = two_cluster_config("MESI", "CXL", "MESI",
+                                cores_per_cluster=1, seed=seed,
+                                cross_jitter_ns=60.0)
+    system = build_system(config)
+    programs = [
+        ThreadProgram(f"t{t}", [op for i in range(10)
+                                for op in (load(0x1, f"r{i}"), rmw(0x1, 1))])
+        for t in range(2)
+    ]
+    system.run_threads(programs, placement=[0, 1])
+    conflicts = sum(c.bridge.port.conflicts for c in system.clusters)
+    final = system.run_threads(
+        [ThreadProgram("c", [load(0x1, "total")])], placement=[0])
+    assert final.per_core_regs[0]["total"] == 20
+    return conflicts
+
+
 def test_ablation_conflict_handshake_exercised(benchmark, save_result):
     def run():
-        conflicts = 0
-        for seed in range(10):
-            config = two_cluster_config("MESI", "CXL", "MESI",
-                                        cores_per_cluster=1, seed=seed,
-                                        cross_jitter_ns=60.0)
-            system = build_system(config)
-            programs = [
-                ThreadProgram(f"t{t}", [op for i in range(10)
-                                        for op in (load(0x1, f"r{i}"), rmw(0x1, 1))])
-                for t in range(2)
-            ]
-            system.run_threads(programs, placement=[0, 1])
-            conflicts += sum(c.bridge.port.conflicts for c in system.clusters)
-            final = system.run_threads(
-                [ThreadProgram("c", [load(0x1, "total")])], placement=[0])
-            assert final.per_core_regs[0]["total"] == 20
-        return conflicts
+        per_seed = run_cells(_conflict_cell,
+                             {seed: dict(seed=seed) for seed in range(10)})
+        return sum(per_seed.values())
 
     conflicts = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result("ablation_conflicts",
@@ -106,25 +116,29 @@ def test_ablation_conflict_handshake_exercised(benchmark, save_result):
     assert conflicts > 0
 
 
-def test_ablation_cxl_cache_capacity(benchmark, save_result):
-    """Fig. 7 pressure: shrinking the CXL cache forces recall+writeback
-    evictions of lines still held by host caches."""
+def _capacity_cell(llc_lines: int):
+    """Sweep cell: (exec time, writebacks, recalls) at one CXL-cache size."""
     from repro.sim.config import ClusterConfig, LINE_BYTES, SystemConfig
     from repro.workloads import build_workload
 
-    def run_at(llc_lines):
-        cluster = ClusterConfig(cores=2, protocol="MESI", mcm="WEAK",
-                                llc_bytes=llc_lines * LINE_BYTES, llc_assoc=4)
-        system = build_system(SystemConfig(clusters=(cluster, cluster),
-                                           global_protocol="CXL", seed=3))
-        programs = build_workload("fft", 4, scale=0.6, seed=3)
-        result = system.run_threads(programs)
-        wbs = sum(c.bridge.port.writebacks for c in system.clusters)
-        recalls = sum(c.bridge.recalls_done for c in system.clusters)
-        return result.exec_time, wbs, recalls
+    cluster = ClusterConfig(cores=2, protocol="MESI", mcm="WEAK",
+                            llc_bytes=llc_lines * LINE_BYTES, llc_assoc=4)
+    system = build_system(SystemConfig(clusters=(cluster, cluster),
+                                       global_protocol="CXL", seed=3))
+    programs = build_workload("fft", 4, scale=0.6, seed=3)
+    result = system.run_threads(programs)
+    wbs = sum(c.bridge.port.writebacks for c in system.clusters)
+    recalls = sum(c.bridge.recalls_done for c in system.clusters)
+    return result.exec_time, wbs, recalls
 
+
+def test_ablation_cxl_cache_capacity(benchmark, save_result):
+    """Fig. 7 pressure: shrinking the CXL cache forces recall+writeback
+    evictions of lines still held by host caches."""
     def run():
-        return {lines: run_at(lines) for lines in (64, 256, 4096)}
+        return run_cells(_capacity_cell,
+                         {lines: dict(llc_lines=lines)
+                          for lines in (64, 256, 4096)})
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     text = ["CXL cache capacity sweep (fft, shared+private footprint):"]

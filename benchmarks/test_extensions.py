@@ -10,6 +10,7 @@
 
 from repro.cpu.isa import ThreadProgram, load, rmw
 from repro.harness.experiments import geomean
+from repro.harness.sweep import run_cells
 from repro.sim.config import ClusterConfig, SystemConfig, two_cluster_config
 from repro.sim.system import build_system
 from repro.workloads import build_workload
@@ -27,17 +28,22 @@ def _run(workload, hybrid, seed=1):
     return result.exec_time, system
 
 
+def _hybrid_cell(workload: str):
+    """Sweep cell: all-remote vs hybrid time and residual CXL traffic."""
+    remote, _ = _run(workload, hybrid=False)
+    hybrid, system = _run(workload, hybrid=True)
+    cxl_requests = sum(c.bridge.port.requests for c in system.clusters)
+    return remote / hybrid, cxl_requests
+
+
 def test_hybrid_memory_speedup(benchmark, save_result):
     workloads = ("vips", "fft", "histogram", "raytrace")
 
     def run():
-        rows = []
-        for workload in workloads:
-            remote, _ = _run(workload, hybrid=False)
-            hybrid, system = _run(workload, hybrid=True)
-            cxl_requests = sum(c.bridge.port.requests for c in system.clusters)
-            rows.append((workload, remote / hybrid, cxl_requests))
-        return rows
+        cells = run_cells(_hybrid_cell,
+                          {w: dict(workload=w) for w in workloads})
+        return [(w, speedup, cxl_requests)
+                for w, (speedup, cxl_requests) in cells.items()]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     text = ["Hybrid memory (private data in local DRAM) vs all-remote:"]
@@ -54,33 +60,40 @@ def test_hybrid_memory_speedup(benchmark, save_result):
     assert shared_requests["histogram"] > 0
 
 
+def _multihost_cell(hosts: int, seed: int):
+    """Sweep cell: one contended multi-host run (time, snoops, queued)."""
+    clusters = tuple(
+        ClusterConfig(cores=1, protocol="MESI", mcm="WEAK")
+        for _ in range(hosts))
+    system = build_system(SystemConfig(clusters=clusters,
+                                       global_protocol="CXL",
+                                       seed=seed))
+    # Interleave gaps so hosts genuinely alternate on the line.
+    programs = [
+        ThreadProgram(f"t{i}", [rmw(0x5, 1, gap=40 * ((r + i) % 3))
+                                for r in range(20)])
+        for i in range(hosts)
+    ]
+    result = system.run_threads(programs, placement=list(range(hosts)))
+    check = system.run_threads(
+        [ThreadProgram("c", [load(0x5, "v")])], placement=[0])
+    assert check.per_core_regs[0]["v"] == hosts * 20
+    return result.exec_time, system.home.snoops_sent, system.home.queued_total
+
+
 def test_multihost_scaling(benchmark, save_result):
+    host_counts, seeds = (2, 3, 4), (1, 2, 3, 4, 5)
+
     def run():
+        cells = run_cells(_multihost_cell,
+                          {(hosts, seed): dict(hosts=hosts, seed=seed)
+                           for hosts in host_counts for seed in seeds})
         rows = []
-        for hosts in (2, 3, 4):
-            times, snoops_total, queued_total = [], 0, 0
-            for seed in (1, 2, 3, 4, 5):
-                clusters = tuple(
-                    ClusterConfig(cores=1, protocol="MESI", mcm="WEAK")
-                    for _ in range(hosts))
-                system = build_system(SystemConfig(clusters=clusters,
-                                                   global_protocol="CXL",
-                                                   seed=seed))
-                # Interleave gaps so hosts genuinely alternate on the line.
-                programs = [
-                    ThreadProgram(f"t{i}", [rmw(0x5, 1, gap=40 * ((r + i) % 3))
-                                            for r in range(20)])
-                    for i in range(hosts)
-                ]
-                result = system.run_threads(programs,
-                                            placement=list(range(hosts)))
-                check = system.run_threads(
-                    [ThreadProgram("c", [load(0x5, "v")])], placement=[0])
-                assert check.per_core_regs[0]["v"] == hosts * 20
-                times.append(result.exec_time)
-                snoops_total += system.home.snoops_sent
-                queued_total += system.home.queued_total
-            rows.append((hosts, int(geomean(times)), snoops_total, queued_total))
+        for hosts in host_counts:
+            times = [cells[(hosts, seed)][0] for seed in seeds]
+            snoops = sum(cells[(hosts, seed)][1] for seed in seeds)
+            queued = sum(cells[(hosts, seed)][2] for seed in seeds)
+            rows.append((hosts, int(geomean(times)), snoops, queued))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

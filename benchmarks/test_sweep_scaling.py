@@ -1,0 +1,83 @@
+"""Sweep-runner scaling: serial vs 2-worker wall time on a small grid.
+
+Not a paper figure: this keeps the parallel sweep substrate honest.  It
+regenerates a 3-workload x 2-combo x 3-seed Fig. 10 grid serially and
+with ``jobs=2``, asserts the results are bit-identical, and asserts the
+parallel run is not slower than 1.25x serial -- a conservative bound
+chosen for CI boxes with as few as one usable core, where the pool only
+adds fork/IPC overhead (measured ~5-8% on the 1-core reference box; on
+a multi-core host the parallel run should instead be faster, see
+``docs/PERFORMANCE.md``).
+
+The measured numbers are appended to ``BENCH_sweep.json`` at the repo
+root so scaling behaviour across CI environments accumulates over time.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.harness.experiments import FIG10_COMBOS, figure10
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+GRID = dict(
+    workloads=["vips", "histogram", "barnes"],
+    combos=FIG10_COMBOS[:2],
+    scale=0.8,
+    seeds=(1, 2, 3),
+)
+
+
+def _timed_figure10(jobs):
+    start = time.perf_counter()
+    result = figure10(jobs=jobs, **GRID)
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.sweep_scaling
+def test_sweep_parallel_not_slower_than_bound(benchmark, save_result):
+    def run():
+        serial_s, serial = _timed_figure10(jobs=1)
+        parallel_s, parallel = _timed_figure10(jobs=2)
+        return serial_s, serial, parallel_s, parallel
+
+    serial_s, serial, parallel_s, parallel = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Determinism: the parallel grid is bit-identical to the serial one.
+    assert parallel.times == serial.times
+
+    # Conservative wall-time bound for 1-2 core CI: the pool must never
+    # cost more than 25% over serial even when it cannot win.
+    ratio = parallel_s / serial_s
+    assert ratio <= 1.25, (
+        f"jobs=2 took {parallel_s:.3f}s vs serial {serial_s:.3f}s "
+        f"({ratio:.2f}x > 1.25x bound)")
+
+    import os
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "grid_cells": len(GRID["workloads"]) * len(GRID["combos"])
+        * len(GRID["seeds"]),
+        "serial_s": round(serial_s, 4),
+        "jobs2_s": round(parallel_s, 4),
+        "ratio_jobs2_over_serial": round(ratio, 4),
+    }
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    save_result(
+        "sweep_scaling",
+        f"figure10 {record['grid_cells']}-cell grid: serial "
+        f"{serial_s:.3f}s, jobs=2 {parallel_s:.3f}s "
+        f"({ratio:.2f}x, cpu_count={record['cpu_count']})",
+    )

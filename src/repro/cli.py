@@ -10,6 +10,12 @@ exposes the library's main entry points without writing any code:
 - ``fig9/fig10/fig11``  regenerate a figure.
 - ``slicc``       dump the generated compound controller.
 - ``list``        list available workloads and litmus tests.
+
+The sweep subcommands (``table4``, ``fig9``, ``fig10``, ``fig11``)
+accept ``--jobs N`` to fan their independent simulation cells out over
+N worker processes (default: the ``REPRO_JOBS`` environment variable,
+then ``os.cpu_count()``; ``--jobs 1`` forces the serial path).  Results
+are bit-identical regardless of the worker count.
 """
 
 from __future__ import annotations
@@ -33,6 +39,13 @@ def _parse_mcms(text: str) -> tuple[str, str]:
     return parts  # type: ignore[return-value]
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: REPRO_JOBS, then "
+             "cpu count; 1 = serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -45,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table4", help="run the Table IV litmus matrix")
     p.add_argument("--runs", type=int, default=None)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("litmus", help="run one litmus test")
     p.add_argument("name", nargs="?", default=None,
@@ -68,9 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig9", help="regenerate Figure 9")
     p.add_argument("--per-suite", type=int, default=None,
                    help="limit workloads per suite")
+    _add_jobs_flag(p)
     p = sub.add_parser("fig10", help="regenerate Figure 10")
     p.add_argument("--workloads", nargs="*", default=None)
-    sub.add_parser("fig11", help="regenerate Figure 11")
+    _add_jobs_flag(p)
+    p = sub.add_parser("fig11", help="regenerate Figure 11")
+    _add_jobs_flag(p)
 
     p = sub.add_parser("slicc", help="dump a generated compound controller")
     p.add_argument("local", choices=["MESI", "MESIF", "MOESI", "RCC"])
@@ -100,7 +117,7 @@ def main(argv=None) -> int:
     if command == "table4":
         from repro.harness.experiments import table4
 
-        result = table4(runs=args.runs)
+        result = table4(runs=args.runs, jobs=args.jobs)
         print(result.format())
         return 0 if result.all_passed() else 1
 
@@ -162,19 +179,21 @@ def main(argv=None) -> int:
     if command == "fig9":
         from repro.harness.experiments import figure9
 
-        print(figure9(workloads_per_suite=args.per_suite).format())
+        print(figure9(workloads_per_suite=args.per_suite,
+                      jobs=args.jobs).format())
         return 0
 
     if command == "fig10":
         from repro.harness.experiments import figure10
 
-        print(figure10(workloads=args.workloads or None).format())
+        print(figure10(workloads=args.workloads or None,
+                       jobs=args.jobs).format())
         return 0
 
     if command == "fig11":
         from repro.harness.experiments import figure11
 
-        print(figure11().format())
+        print(figure11(jobs=args.jobs).format())
         return 0
 
     if command == "slicc":

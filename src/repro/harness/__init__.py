@@ -7,6 +7,7 @@ from repro.harness.experiments import (
     figure11,
     table4,
 )
+from repro.harness.sweep import SweepCell, SweepRunner, resolve_jobs, run_cells
 from repro.harness.tables import table1, table2, table3
 
 __all__ = [
@@ -18,4 +19,8 @@ __all__ = [
     "table1",
     "table2",
     "table3",
+    "SweepCell",
+    "SweepRunner",
+    "resolve_jobs",
+    "run_cells",
 ]

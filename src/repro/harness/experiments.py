@@ -7,6 +7,13 @@ Run sizes scale with ``scale`` (and the ``REPRO_BENCH_SCALE`` /
 the paper's absolute numbers came from gem5 on a 32-core server; the
 *shapes* -- who wins, by what factor, where the pain concentrates --
 are what these drivers reproduce.
+
+Every figure/table driver takes a ``jobs`` keyword (default: the
+``REPRO_JOBS`` environment knob, then ``os.cpu_count()``) and fans its
+independent simulation cells out over the
+:class:`~repro.harness.sweep.SweepRunner` process pool.  Results are
+keyed by cell, so a parallel regeneration is bit-identical to a serial
+one (``jobs=1``).  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import math
 import os
 from dataclasses import dataclass, field
 
+from repro.core.generator import warm_fsm_cache
+from repro.harness.sweep import SweepCell, SweepRunner
 from repro.sim.config import two_cluster_config
 from repro.sim.system import build_system
 from repro.stats.collectors import LATENCY_BINS, RunResult
@@ -46,8 +55,15 @@ def combo_name(combo) -> str:
 
 
 def geomean(values) -> float:
-    """Geometric mean of a non-empty iterable."""
+    """Geometric mean of a non-empty iterable of positive numbers."""
     values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence is undefined")
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(
+            f"geomean requires positive values; got {bad[:5]}"
+            f"{'...' if len(bad) > 5 else ''}")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -89,6 +105,37 @@ def run_workload(
 
 
 # ---------------------------------------------------------------------------
+# Sweep plumbing shared by the figure/table drivers.
+# ---------------------------------------------------------------------------
+
+def _workload_time(**kwargs) -> int:
+    """Sweep cell: one workload run reduced to its execution time."""
+    return run_workload(**kwargs).exec_time
+
+
+def _workload_stats(**kwargs):
+    """Sweep cell: one workload run reduced to its OpStats."""
+    return run_workload(**kwargs).stats
+
+
+def _fsm_pairs(combos) -> tuple:
+    """Distinct (local, global) generator pairs a set of combos needs."""
+    return tuple(sorted({
+        (local, combo[1])
+        for combo in combos
+        for local in (combo[0], combo[2])
+    }))
+
+
+def _sweep(cells, combos, jobs: int | None) -> dict:
+    """Run figure cells through a SweepRunner warmed for ``combos``."""
+    runner = SweepRunner(
+        jobs=jobs, initializer=warm_fsm_cache, initargs=(_fsm_pairs(combos),),
+    )
+    return runner.map(cells)
+
+
+# ---------------------------------------------------------------------------
 # Figure 10: protocol combinations, normalized execution time.
 # ---------------------------------------------------------------------------
 
@@ -99,8 +146,8 @@ class Figure10Result:
     times: dict  # (workload, combo name) -> ticks
 
     def normalized(self, workload: str, combo) -> float:
-        """Execution time relative to the MESI-MESI-MESI baseline."""
-        base = self.times[(workload, combo_name(FIG10_COMBOS[0]))]
+        """Execution time relative to the first (baseline) combo."""
+        base = self.times[(workload, combo_name(self.combos[0]))]
         return self.times[(workload, combo_name(combo))] / base
 
     def mean_slowdown(self, combo) -> float:
@@ -126,21 +173,37 @@ class Figure10Result:
 
 
 def figure10(workloads=None, cores_per_cluster=2, scale=None,
-             seeds=(1, 2, 3)) -> Figure10Result:
-    """Regenerate Fig. 10: protocol combinations, normalized time."""
+             seeds=(1, 2, 3), combos=FIG10_COMBOS,
+             jobs: int | None = None) -> Figure10Result:
+    """Regenerate Fig. 10: protocol combinations, normalized time.
+
+    Each (workload, combo, seed) cell is an independent simulation;
+    they are fanned out over ``jobs`` worker processes and reduced by
+    seed-geomean afterwards, so the result is identical for any
+    ``jobs``.
+    """
     workloads = list(workloads or workload_names())
     scale = default_scale() if scale is None else scale
-    times = {}
-    for workload in workloads:
-        for combo in FIG10_COMBOS:
-            runs = [
-                run_workload(workload, combo=combo, mcms=("WEAK", "WEAK"),
-                             cores_per_cluster=cores_per_cluster,
-                             scale=scale, seed=seed).exec_time
-                for seed in seeds
-            ]
-            times[(workload, combo_name(combo))] = geomean(runs)
-    return Figure10Result(workloads, FIG10_COMBOS, times)
+    cells = [
+        SweepCell(
+            key=(workload, combo_name(combo), seed),
+            fn=_workload_time,
+            kwargs=dict(name=workload, combo=combo, mcms=("WEAK", "WEAK"),
+                        cores_per_cluster=cores_per_cluster,
+                        scale=scale, seed=seed),
+        )
+        for workload in workloads
+        for combo in combos
+        for seed in seeds
+    ]
+    runs = _sweep(cells, combos, jobs)
+    times = {
+        (workload, combo_name(combo)): geomean(
+            runs[(workload, combo_name(combo), seed)] for seed in seeds)
+        for workload in workloads
+        for combo in combos
+    }
+    return Figure10Result(workloads, tuple(combos), times)
 
 
 # ---------------------------------------------------------------------------
@@ -176,25 +239,46 @@ class Figure9Result:
 
 
 def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
-            combos=(("MESI", "CXL", "MESI"), ("MESI", "CXL", "MOESI"))) -> Figure9Result:
-    """Regenerate Fig. 9: per-suite MCM-combination means."""
+            combos=(("MESI", "CXL", "MESI"), ("MESI", "CXL", "MOESI")),
+            jobs: int | None = None) -> Figure9Result:
+    """Regenerate Fig. 9: per-suite MCM-combination means.
+
+    Every (combo, suite, MCM label, workload, seed) cell runs
+    independently on the sweep pool; the per-suite geomeans are reduced
+    afterwards in deterministic cell order.
+    """
     scale = default_scale() if scale is None else scale
     suites = ("splash4", "parsec", "phoenix")
-    times = {}
-    for combo in combos:
-        for suite in suites:
-            names = workload_names(suite)
-            if workloads_per_suite is not None:
-                names = names[:workloads_per_suite]
-            for label, mcms in FIG9_MCMS:
-                runs = [
-                    run_workload(name, combo=combo, mcms=mcms,
-                                 cores_per_cluster=cores_per_cluster,
-                                 scale=scale, seed=seed).exec_time
-                    for name in names
-                    for seed in (1, 2)
-                ]
-                times[(combo_name(combo), label, suite)] = geomean(runs)
+    suite_names = {}
+    for suite in suites:
+        names = workload_names(suite)
+        if workloads_per_suite is not None:
+            names = names[:workloads_per_suite]
+        suite_names[suite] = names
+    cells = [
+        SweepCell(
+            key=(combo_name(combo), label, suite, name, run_seed),
+            fn=_workload_time,
+            kwargs=dict(name=name, combo=combo, mcms=mcms,
+                        cores_per_cluster=cores_per_cluster,
+                        scale=scale, seed=run_seed),
+        )
+        for combo in combos
+        for suite in suites
+        for label, mcms in FIG9_MCMS
+        for name in suite_names[suite]
+        for run_seed in (1, 2)
+    ]
+    runs = _sweep(cells, combos, jobs)
+    times = {
+        (combo_name(combo), label, suite): geomean(
+            runs[(combo_name(combo), label, suite, name, run_seed)]
+            for name in suite_names[suite]
+            for run_seed in (1, 2))
+        for combo in combos
+        for suite in suites
+        for label, _mcms in FIG9_MCMS
+    }
     return Figure9Result(combos, suites, times)
 
 
@@ -252,16 +336,22 @@ class Figure11Result:
 
 
 def figure11(workloads=FIG11_WORKLOADS, cores_per_cluster=2, scale=None,
-             seed=1) -> Figure11Result:
+             seed=1, jobs: int | None = None) -> Figure11Result:
     """Regenerate Fig. 11: miss-cycle latency breakdown."""
     scale = default_scale() if scale is None else scale
-    stats = {}
-    for workload in workloads:
-        for combo in (("MESI", "MESI", "MESI"), ("MESI", "CXL", "MESI")):
-            result = run_workload(workload, combo=combo, mcms=("WEAK", "WEAK"),
-                                  cores_per_cluster=cores_per_cluster,
-                                  scale=scale, seed=seed)
-            stats[(workload, combo_name(combo))] = result.stats
+    combos = (("MESI", "MESI", "MESI"), ("MESI", "CXL", "MESI"))
+    cells = [
+        SweepCell(
+            key=(workload, combo_name(combo)),
+            fn=_workload_stats,
+            kwargs=dict(name=workload, combo=combo, mcms=("WEAK", "WEAK"),
+                        cores_per_cluster=cores_per_cluster,
+                        scale=scale, seed=seed),
+        )
+        for workload in workloads
+        for combo in combos
+    ]
+    stats = _sweep(cells, combos, jobs)
     return Figure11Result(tuple(workloads), stats)
 
 
@@ -305,14 +395,23 @@ class Table4Result:
         return "\n".join(lines)
 
 
-def table4(runs: int | None = None, seed: int = 0) -> Table4Result:
-    """Regenerate Table IV: the litmus matrix."""
+def table4(runs: int | None = None, seed: int = 0,
+           jobs: int | None = None) -> Table4Result:
+    """Regenerate Table IV: the litmus matrix.
+
+    Each of the 7 tests x 2 combos x 3 MCM pairings is an independent
+    randomized litmus campaign (seeded per cell), swept in parallel.
+    """
     runs = runs or int(os.environ.get("REPRO_LITMUS_RUNS", "40"))
-    table = Table4Result()
-    for test in TABLE4_TESTS:
-        for combo in TABLE4_PROTOCOLS:
-            for label, mcms in TABLE4_MCMS:
-                table.results[(test.name, combo_name(combo), label)] = run_litmus(
-                    test, combo=combo, mcms=mcms, runs=runs, seed0=seed,
-                )
-    return table
+    cells = [
+        SweepCell(
+            key=(test.name, combo_name(combo), label),
+            fn=run_litmus,
+            kwargs=dict(test=test, combo=combo, mcms=mcms, runs=runs,
+                        seed0=seed),
+        )
+        for test in TABLE4_TESTS
+        for combo in TABLE4_PROTOCOLS
+        for label, mcms in TABLE4_MCMS
+    ]
+    return Table4Result(results=_sweep(cells, TABLE4_PROTOCOLS, jobs))

@@ -1,0 +1,190 @@
+"""Parallel sweep execution substrate.
+
+Every paper figure is a sweep over independent simulation cells --
+(workload x protocol combo x MCM x seed) -- that share no state: each
+cell builds its own :class:`~repro.sim.system.System` from a config and
+a seed.  :class:`SweepRunner` fans those cells out over a
+``multiprocessing`` process pool while keeping the *results* keyed by
+cell, so a parallel sweep is bit-identical to the serial one regardless
+of completion order.
+
+Design constraints (and how they are met):
+
+- **Spawn safety.**  Cell functions must be module-level callables and
+  cell kwargs picklable values; both are verified up front with a
+  pre-flight ``pickle.dumps`` so a bad cell degrades to the serial path
+  instead of wedging the pool's task-handler thread.
+- **Determinism.**  Results are stored by cell key (never by completion
+  order) and every cell carries its own seed, so
+  ``SweepRunner(jobs=N).map(cells) == SweepRunner(jobs=1).map(cells)``
+  for any ``N``.
+- **Graceful fallback.**  ``jobs=1``, a single cell, an unpicklable
+  cell, or an OS that cannot spawn processes all fall back to a plain
+  in-process loop.  ``runner.last_mode`` records which path ran.
+
+Knobs:
+
+- ``REPRO_JOBS`` (or the ``--jobs`` CLI flag / ``jobs=`` keyword):
+  worker count; defaults to ``os.cpu_count()``; ``1`` forces the
+  serial path.
+- ``REPRO_MP_START``: multiprocessing start method (``fork`` /
+  ``spawn`` / ``forkserver``); defaults to the platform default.
+
+See ``docs/PERFORMANCE.md`` for measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+JOBS_ENV = "REPRO_JOBS"
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}") from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    ``fn`` must be a module-level callable (so it pickles by reference
+    under the spawn start method) and ``kwargs`` picklable values; the
+    runner calls ``fn(**kwargs)`` and files the return value under
+    ``key``.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _run_cell(payload):
+    """Pool worker entry: run one cell, tagging the result with its index."""
+    index, fn, kwargs = payload
+    return index, fn(**kwargs)
+
+
+class SweepRunner:
+    """Fan independent sweep cells out over a process pool.
+
+    Results come back as ``{cell.key: fn(**kwargs)}`` in the order the
+    cells were given, independent of which worker finished first -- the
+    property that keeps parallel figure regeneration bit-identical to
+    the serial path.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        start_method: str | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = (
+            start_method
+            or os.environ.get(START_METHOD_ENV, "").strip()
+            or None
+        )
+        self.initializer = initializer
+        self.initargs = initargs
+        #: "serial" or "parallel" after the last map() call.
+        self.last_mode: str | None = None
+        #: The exception that forced a fallback to serial, if any.
+        self.last_fallback: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def map(self, cells: Iterable[SweepCell]) -> dict:
+        """Run every cell; return ``{key: result}`` keyed deterministically."""
+        cells = list(cells)
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            seen, dupes = set(), []
+            for key in keys:
+                if key in seen:
+                    dupes.append(key)
+                seen.add(key)
+            raise ValueError(f"duplicate sweep cell keys: {dupes[:5]}")
+        self.last_fallback = None
+        if self.jobs <= 1 or len(cells) <= 1:
+            return self._map_serial(cells)
+        payloads = self._payloads(cells)
+        if payloads is None:  # unpicklable cell: spawn-unsafe, go serial
+            return self._map_serial(cells)
+        try:
+            return self._map_parallel(cells, payloads)
+        except (OSError, ImportError) as exc:
+            # No pool on this platform (sandboxed /dev/shm, missing
+            # semaphores, fork failure): degrade, don't die.
+            self.last_fallback = exc
+            return self._map_serial(cells)
+
+    # ------------------------------------------------------------------
+    def _payloads(self, cells):
+        payloads = [(i, cell.fn, dict(cell.kwargs))
+                    for i, cell in enumerate(cells)]
+        try:
+            pickle.dumps(payloads)
+            if self.initializer is not None:
+                pickle.dumps((self.initializer, self.initargs))
+        except Exception as exc:  # PicklingError, AttributeError, TypeError
+            self.last_fallback = exc
+            return None
+        return payloads
+
+    def _map_serial(self, cells) -> dict:
+        self.last_mode = "serial"
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        return {cell.key: cell.fn(**cell.kwargs) for cell in cells}
+
+    def _map_parallel(self, cells, payloads) -> dict:
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.start_method)
+        results: list = [None] * len(cells)
+        filled = [False] * len(cells)
+        with context.Pool(
+            processes=min(self.jobs, len(cells)),
+            initializer=self.initializer,
+            initargs=self.initargs,
+        ) as pool:
+            for index, value in pool.imap_unordered(_run_cell, payloads):
+                results[index] = value
+                filled[index] = True
+        if not all(filled):  # pragma: no cover - pool never drops tasks
+            raise OSError("process pool dropped sweep cells")
+        self.last_mode = "parallel"
+        return {cell.key: results[i] for i, cell in enumerate(cells)}
+
+
+def run_cells(
+    fn: Callable[..., Any],
+    keyed_kwargs: Mapping[Hashable, Mapping[str, Any]],
+    jobs: int | None = None,
+    **runner_kwargs,
+) -> dict:
+    """Convenience wrapper: sweep one function over ``{key: kwargs}``."""
+    runner = SweepRunner(jobs=jobs, **runner_kwargs)
+    return runner.map(
+        SweepCell(key=key, fn=fn, kwargs=kwargs)
+        for key, kwargs in keyed_kwargs.items()
+    )

@@ -14,6 +14,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Event:
     """A scheduled callback.
@@ -56,9 +59,10 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self.now + delay, self._seq, callback, args)
-        heapq.heappush(self._queue, (event.time, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        event = Event(self.now + delay, seq, callback, args)
+        _heappush(self._queue, (event.time, seq, event))
+        self._seq = seq + 1
         return event
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
@@ -69,6 +73,11 @@ class Engine:
         """Number of events still in the queue (including cancelled)."""
         return len(self._queue)
 
+    def pending_live(self) -> int:
+        """Number of queued events that will actually fire (not cancelled)."""
+        return sum(1 for _time, _seq, event in self._queue
+                   if not event.cancelled)
+
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Run until the queue drains, ``until`` ticks pass, or ``max_events``.
 
@@ -76,29 +85,39 @@ class Engine:
         ``max_events`` bound is the engine-level watchdog used by the
         verification harness to convert protocol deadlocks into test
         failures instead of hangs.
+
+        The body is the simulator's hottest loop, so it binds the heap
+        pop and the queue locally and batches the ``events_executed``
+        update (interleaved medians on the 1-core CI box: 20k-event
+        churn 13.3 ms before, 12.9 ms after -- see
+        ``benchmarks/test_simulator_throughput.py`` and
+        ``docs/PERFORMANCE.md``).
         """
         self._running = True
-        executed_this_run = 0
+        executed = 0
         queue = self._queue
+        heappop = _heappop
         try:
             while queue:
                 if until is not None and queue[0][0] > until:
                     self.now = until
                     break
-                if max_events is not None and executed_this_run >= max_events:
+                if max_events is not None and executed >= max_events:
                     raise SimulationLimitError(
-                        f"exceeded {max_events} events at t={self.now}; "
+                        f"exceeded {max_events} events at t={self.now} "
+                        f"({self.pending()} pending, "
+                        f"{self.pending_live()} live); "
                         "likely livelock or deadlock retry storm"
                     )
-                time, _seq, event = heapq.heappop(queue)
+                time, _seq, event = heappop(queue)
                 if event.cancelled:
                     continue
                 self.now = time
                 event.callback(*event.args)
-                self.events_executed += 1
-                executed_this_run += 1
+                executed += 1
         finally:
             self._running = False
+            self.events_executed += executed
         return self.now
 
 

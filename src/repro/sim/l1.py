@@ -38,6 +38,15 @@ WRITABLE = {"E", "M"}
 #: Owner-ish states that must answer directory forwards.
 FORWARDABLE = {"E", "M", "O", "F", "MI_A", "EI_A", "OI_A", "FI_A"}
 
+#: Hot-path op-kind sets (precomputed: the request path used to pay
+#: repeated tuple-membership string compares per op).
+READ_KINDS = frozenset(("LOAD", "LOAD_ACQ"))
+WRITE_KINDS = frozenset(("STORE", "STORE_REL", "RMW", "PREFETCH_M"))
+STORE_KINDS = frozenset(("STORE", "STORE_REL"))
+#: States a Fwd-GetS / Fwd-GetM can legally land in.
+FWD_GETS_OK = FORWARDABLE | {"S", "SM_A"}
+FWD_GETM_OK = FORWARDABLE | {"SM_A"}
+
 
 @dataclass
 class Mshr:
@@ -83,6 +92,15 @@ class L1Controller(Node):
         self._room_waiters: dict[int, deque] = {}
         self.hits = 0
         self.misses = 0
+        # Message dispatch table, built once instead of per message.
+        self._dispatch = {
+            m.DATA: self._on_grant,
+            m.DATA_OWNER: self._on_peer_data,
+            m.FWD_GETS: self._on_fwd_gets,
+            m.FWD_GETM: self._on_fwd_getm,
+            m.INV: self._on_inv,
+            m.PUT_ACK: self._on_put_ack,
+        }
 
     # ------------------------------------------------------------------
     # Core-facing interface.
@@ -109,11 +127,10 @@ class L1Controller(Node):
                  hit: bool = True) -> bool:
         if line is None:
             return False
-        is_read = kind in ("LOAD", "LOAD_ACQ")
-        if is_read and state in READABLE:
+        if kind in READ_KINDS and state in READABLE:
             self._complete_op(kind, line.data, callback, t0, hit=hit)
             return True
-        if kind in ("STORE", "STORE_REL") and state in WRITABLE:
+        if kind in STORE_KINDS and state in WRITABLE:
             line.state = "M"
             line.data = value
             line.dirty = True
@@ -142,8 +159,7 @@ class L1Controller(Node):
         line = self.cache.peek(addr)
         if line is None:
             return False
-        wants_write = kind in ("STORE", "STORE_REL", "RMW", "PREFETCH_M")
-        return line.state in (WRITABLE if wants_write else READABLE)
+        return line.state in (WRITABLE if kind in WRITE_KINDS else READABLE)
 
     def _complete_op(self, kind, result, callback, t0, hit: bool) -> None:
         if kind.startswith("PREFETCH"):
@@ -161,7 +177,7 @@ class L1Controller(Node):
     def _miss(self, kind, addr, value, callback, t0, line: CacheLine | None) -> None:
         if not kind.startswith("PREFETCH"):
             self.misses += 1
-        want_m = kind in ("STORE", "STORE_REL", "RMW", "PREFETCH_M")
+        want_m = kind in WRITE_KINDS
         if line is not None and line.state in ("S", "F", "O"):
             # Upgrade in place: we hold data, need write permission.
             assert want_m, f"read should have hit in {line.state}"
@@ -227,15 +243,8 @@ class L1Controller(Node):
     # Network-facing handlers.
     # ------------------------------------------------------------------
     def handle_message(self, msg: m.Message) -> None:
-        """Dispatch one incoming coherence message."""
-        handler = {
-            m.DATA: self._on_grant,
-            m.DATA_OWNER: self._on_peer_data,
-            m.FWD_GETS: self._on_fwd_gets,
-            m.FWD_GETM: self._on_fwd_getm,
-            m.INV: self._on_inv,
-            m.PUT_ACK: self._on_put_ack,
-        }.get(msg.kind)
+        """Dispatch one incoming coherence message (precomputed table)."""
+        handler = self._dispatch.get(msg.kind)
         if handler is None:
             raise ProtocolError(f"{self.node_id}: unexpected {msg}")
         handler(msg)
@@ -329,7 +338,7 @@ class L1Controller(Node):
         if line is not None and line.state in ("IS_D", "IM_D"):
             self.mshrs[msg.addr].pending_fwds.append(msg)
             return
-        if line is None or line.state not in FORWARDABLE | {"S", "SM_A"}:
+        if line is None or line.state not in FWD_GETS_OK:
             raise ProtocolError(f"{self.node_id}: Fwd-GetS in bad state: {msg}")
         if line.state == "SM_A":
             # An O/F holder whose own upgrade is queued behind this
@@ -401,7 +410,7 @@ class L1Controller(Node):
         if line is not None and line.state in ("IS_D", "IM_D"):
             self.mshrs[msg.addr].pending_fwds.append(msg)
             return
-        if line is None or line.state not in FORWARDABLE | {"SM_A"}:
+        if line is None or line.state not in FWD_GETM_OK:
             raise ProtocolError(f"{self.node_id}: Fwd-GetM in bad state: {msg}")
         if line.state == "SM_A":
             # An O/F holder losing the race while its own upgrade is
@@ -511,6 +520,11 @@ class RccL1(Node):
         self._write_cbs: dict[int, deque] = {}  # addr -> write-ack callbacks
         self.hits = 0
         self.misses = 0
+        self._dispatch = {
+            m.RCC_DATA: self._on_rcc_data,
+            m.RCC_WRITE_ACK: self._on_rcc_write_ack,
+            m.INV: self._on_inv,
+        }
 
     def core_request(self, kind, addr, value, callback) -> None:
         """Core-facing entry for the RCC cache; answers via ``callback``."""
@@ -559,31 +573,36 @@ class RccL1(Node):
             self.stats.record_op(kind, self.engine.now - t0, hit)
 
     def handle_message(self, msg: m.Message) -> None:
-        if msg.kind == m.RCC_DATA:
-            queue = self._pending.pop(msg.addr, deque())
-            if not self.cache.peek(msg.addr):
-                if not self.cache.has_room(msg.addr):
-                    victim = self.cache.victim_for(msg.addr)
-                    if victim is not None:
-                        self.cache.remove(victim.addr)  # clean: silent drop
-                if self.cache.has_room(msg.addr):
-                    self.cache.insert(msg.addr, state="V", data=msg.data)
-            else:
-                self.cache.lookup(msg.addr).data = msg.data
-            for callback, t0 in queue:
-                self._record("LOAD", t0, hit=False)
-                callback(msg.data)
-        elif msg.kind == m.RCC_WRITE_ACK:
-            callback, t0, kind = self._write_cbs[msg.addr].popleft()
-            if not self._write_cbs[msg.addr]:
-                del self._write_cbs[msg.addr]
-            self._record(kind, t0, hit=False)
-            callback(msg.data)  # RMW old value rides back; None otherwise
-        elif msg.kind == m.INV:
-            # RCC L1s are not tracked; a defensive ack keeps interop simple.
-            self.send(m.Message(m.INV_ACK, msg.addr, self.node_id, self.dir_id))
-        else:
+        handler = self._dispatch.get(msg.kind)
+        if handler is None:
             raise ProtocolError(f"{self.node_id}: unexpected {msg}")
+        handler(msg)
+
+    def _on_rcc_data(self, msg: m.Message) -> None:
+        queue = self._pending.pop(msg.addr, deque())
+        if not self.cache.peek(msg.addr):
+            if not self.cache.has_room(msg.addr):
+                victim = self.cache.victim_for(msg.addr)
+                if victim is not None:
+                    self.cache.remove(victim.addr)  # clean: silent drop
+            if self.cache.has_room(msg.addr):
+                self.cache.insert(msg.addr, state="V", data=msg.data)
+        else:
+            self.cache.lookup(msg.addr).data = msg.data
+        for callback, t0 in queue:
+            self._record("LOAD", t0, hit=False)
+            callback(msg.data)
+
+    def _on_rcc_write_ack(self, msg: m.Message) -> None:
+        callback, t0, kind = self._write_cbs[msg.addr].popleft()
+        if not self._write_cbs[msg.addr]:
+            del self._write_cbs[msg.addr]
+        self._record(kind, t0, hit=False)
+        callback(msg.data)  # RMW old value rides back; None otherwise
+
+    def _on_inv(self, msg: m.Message) -> None:
+        # RCC L1s are not tracked; a defensive ack keeps interop simple.
+        self.send(m.Message(m.INV_ACK, msg.addr, self.node_id, self.dir_id))
 
     def line_state(self, addr: int) -> str:
         """Validity state of ``addr`` (V or I)."""

@@ -116,24 +116,41 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Schedule delivery of ``msg`` respecting per-channel FIFO order
-        and per-link bandwidth (serialization occupies the wire)."""
-        link = self.link_for(msg.src, msg.dst)
-        serialization = link.serialization(msg.size)
-        wire = (msg.src, msg.dst)
-        start = max(self.engine.now, self._link_busy_until.get(wire, 0))
-        self._link_busy_until[wire] = start + serialization
-        delay = (start - self.engine.now) + serialization + link.latency
+        and per-link bandwidth (serialization occupies the wire).
+
+        This is the second-hottest path after the event loop; it binds
+        the engine and message fields locally and inlines the
+        flit-serialization arithmetic (one attribute walk per field
+        instead of several per message).
+        """
+        src, dst = msg.src, msg.dst
+        wire = (src, dst)
+        try:
+            link = self.links[wire]
+        except KeyError:
+            raise KeyError(f"no link {src} -> {dst}") from None
+        engine = self.engine
+        now = engine.now
+        flit_bytes = link.flit_bytes
+        serialization = (
+            (msg.size + flit_bytes - 1) // flit_bytes) * link.flit_cycle
+        busy_until = self._link_busy_until
+        start = busy_until.get(wire, 0)
+        if start < now:
+            start = now
+        busy_until[wire] = start + serialization
+        delay = (start - now) + serialization + link.latency
         if link.jitter:
             delay += self.rng.randrange(link.jitter + 1)
-        arrival = self.engine.now + delay
-        channel = (msg.src, msg.dst, msg.vnet)
-        floor = self._last_arrival.get(channel, -1) + 1
+        arrival = now + delay
+        channel = (src, dst, msg.vnet)
+        last_arrival = self._last_arrival
+        floor = last_arrival.get(channel, -1) + 1
         if arrival < floor:
             arrival = floor
-        self._last_arrival[channel] = arrival
+        last_arrival[channel] = arrival
         self.stats.record(msg)
-        dst_node = self.nodes[msg.dst]
-        self.engine.schedule_at(arrival, dst_node.handle_message, msg)
+        engine.schedule(arrival - now, self.nodes[dst].handle_message, msg)
 
     def deliver_local(self, msg: Message, delay: int = 0) -> None:
         """Deliver a message within one component (no link traversal)."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.cpu.isa import ThreadProgram
@@ -32,7 +33,12 @@ class WorkloadSpec:
         n = max(16, int(self.ops * scale))
         programs = []
         for tid in range(num_threads):
-            rng = random.Random((seed << 16) ^ (hash(self.name) & 0xFFFF) ^ tid)
+            # zlib.crc32, not hash(): str hashes are randomized per process,
+            # which would make "deterministic given a seed" hold only within
+            # one interpreter (and break parallel-vs-serial sweep identity
+            # under the spawn start method).
+            name_salt = zlib.crc32(self.name.encode()) & 0xFFFF
+            rng = random.Random((seed << 16) ^ name_salt ^ tid)
             params = dict(self.params)
             params.setdefault("num_threads", num_threads)
             ops = generator(tid, rng, n, **params)

@@ -80,6 +80,39 @@ def test_max_events_watchdog_detects_livelock():
         engine.run(max_events=100)
 
 
+def test_watchdog_message_reports_pending_queue():
+    engine = Engine()
+
+    def spin():
+        engine.schedule(1, spin)
+
+    engine.schedule(0, spin)
+    cancelled = engine.schedule(10_000, lambda: None)
+    cancelled.cancel()
+    with pytest.raises(SimulationLimitError) as exc:
+        engine.run(max_events=50)
+    message = str(exc.value)
+    # Actionable livelock report: how much is queued and how much is live.
+    assert "2 pending" in message
+    assert "1 live" in message
+    assert "t=" in message
+
+
+def test_pending_live_excludes_cancelled():
+    engine = Engine()
+    keep = engine.schedule(5, lambda: None)
+    drop = engine.schedule(6, lambda: None)
+    assert engine.pending() == 2
+    assert engine.pending_live() == 2
+    drop.cancel()
+    assert engine.pending() == 2  # still physically queued
+    assert engine.pending_live() == 1
+    engine.run()
+    assert engine.pending() == 0
+    assert engine.pending_live() == 0
+    assert keep.cancelled is False
+
+
 def test_event_counter_accumulates():
     engine = Engine()
     for i in range(10):
