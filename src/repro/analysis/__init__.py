@@ -1,0 +1,40 @@
+"""Static analysis of the generated C3 protocol artifacts.
+
+The paper verifies the synthesized controllers *dynamically* (Murphi
+state exploration, litmus runs, Sec. VI); this package is the static
+front line, in the spirit of gem5's SLICC front-end: it audits the SSP
+specs, the synthesized compound FSMs and the translation tables without
+running a single simulated cycle, cheap enough to gate every sweep.
+
+Five passes, each a small class reporting :class:`Finding` values:
+
+- :mod:`~repro.analysis.completeness` (``C0xx``) -- every reachable
+  (compound state x request/snoop class) pair is handled; no dead rows.
+- :mod:`~repro.analysis.reachability` (``R0xx``) -- the legal pair set,
+  the closure and the transition graph describe the same machine.
+- :mod:`~repro.analysis.forbidden` (``F0xx``) -- the generator's pruning
+  diffs clean against the verify layer's independent derivation.
+- :mod:`~repro.analysis.progress` (``P0xx``) -- every transient state
+  has a completion path (static livelock candidates otherwise).
+- :mod:`~repro.analysis.rule2` (``N0xx``) -- the Rule-II nesting
+  discipline holds in the tables by construction.
+
+Run via :class:`ProtocolLinter` or ``python -m repro lint``; the
+injected-defect fixtures in :mod:`~repro.analysis.fixtures` prove each
+rule fires.  See ``docs/ANALYSIS.md`` for the full rule catalogue.
+"""
+
+from repro.analysis.findings import ERROR, Finding, INFO, LintPass, Report, WARNING
+from repro.analysis.linter import ALL_PASSES, ProtocolLinter, registered_pairs
+
+__all__ = [
+    "ALL_PASSES",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "LintPass",
+    "ProtocolLinter",
+    "Report",
+    "WARNING",
+    "registered_pairs",
+]

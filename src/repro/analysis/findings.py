@@ -1,0 +1,110 @@
+"""Shared result types for the protocol lint passes.
+
+Every pass reports :class:`Finding` values -- one per defect -- tagged
+with a stable rule id (``C001``, ``R002``, ``N001``, ...), a severity,
+the subject (which table entry / compound state / translation row is at
+fault) and a human-readable message.  A :class:`Report` aggregates the
+findings for one protocol pairing and knows how to render itself as
+text or JSON, and whether it should fail a lint gate (errors always do;
+``strict`` mode promotes every finding to a failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity levels, weakest to strongest.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITY_ORDER = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a lint pass."""
+
+    rule_id: str  # stable identifier, e.g. "C001"
+    severity: str  # INFO | WARNING | ERROR
+    subject: str  # what is at fault, e.g. "up_table[('write', 'S')]"
+    message: str  # human-readable explanation
+
+    def format(self) -> str:
+        """Render as one aligned report line."""
+        return f"{self.rule_id} [{self.severity:<7}] {self.subject}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Report:
+    """All findings the linter produced for one protocol pairing."""
+
+    pair: str  # e.g. "MESI-CXL"
+    findings: list = field(default_factory=list)
+
+    def extend(self, findings) -> None:
+        """Append findings from one pass."""
+        self.findings.extend(findings)
+
+    def by_severity(self, severity: str) -> list:
+        """Findings at exactly the given severity."""
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list:
+        """Error-severity findings (always gate-failing)."""
+        return self.by_severity(ERROR)
+
+    def has_rule(self, rule_id: str) -> bool:
+        """Whether any finding carries the given rule id."""
+        return any(f.rule_id == rule_id for f in self.findings)
+
+    def clean(self, strict: bool = False) -> bool:
+        """Gate verdict: no errors; in strict mode, no findings at all."""
+        if strict:
+            return not self.findings
+        return not self.errors
+
+    def format(self) -> str:
+        """Render the report as text, one line per finding."""
+        if not self.findings:
+            return f"{self.pair}: clean"
+        lines = [f"{self.pair}: {len(self.findings)} finding(s)"]
+        order = _SEVERITY_ORDER
+        for finding in sorted(self.findings,
+                              key=lambda f: (-order[f.severity], f.rule_id)):
+            lines.append("  " + finding.format())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "pair": self.pair,
+            "clean": self.clean(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class LintPass:
+    """Base class for one static-analysis pass over a compound protocol.
+
+    Subclasses declare ``name`` (short pass label) and ``rules`` (rule
+    id -> one-line description) and implement :meth:`run`, returning the
+    findings for one :class:`~repro.core.generator.CompoundProtocol`.
+    """
+
+    name: str = "base"
+    rules: dict = {}
+
+    def run(self, compound) -> list:
+        """Analyze one compound protocol; return a list of Findings."""
+        raise NotImplementedError

@@ -1,0 +1,184 @@
+"""Deliberately broken protocol artifacts: one per lint rule.
+
+Each builder clones a real generated pairing and injects exactly the
+defect its rule is designed to catch -- an unhandled request class, an
+unreachable compound state, pruning switched off, an early-ack
+translation row, and so on.  The self-tests (and ``repro lint
+--self-test``) lint every fixture and assert its rule fires, proving
+the linter would catch the defect *statically*, before any simulation.
+
+The clones are deep copies: the generator memoizes its artifacts, so
+mutating a generated ``CompoundProtocol`` in place would poison every
+later consumer in the process.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+from repro.core.generator import CompoundProtocol, generate
+from repro.core.translation import TranslationRow
+
+#: The pairing most fixtures are derived from.
+DEFAULT_PAIR = ("MESI", "CXL")
+
+
+def fresh_compound(local: str = "MESI", global_: str = "CXL") -> CompoundProtocol:
+    """A private deep copy of a generated pairing, safe to mutate."""
+    return copy.deepcopy(generate(local, global_))
+
+
+def _replace_row(compound: CompoundProtocol, message: str, state, **changes):
+    """Swap one translation row for a mutated copy (rows are frozen)."""
+    for index, row in enumerate(compound.rows):
+        if row.message == message and row.state == state:
+            compound.rows[index] = dataclasses.replace(row, **changes)
+            return compound.rows[index]
+    raise LookupError(f"no row {message} @ {state} in {compound.name}")
+
+
+def unhandled_request_class() -> CompoundProtocol:
+    """C001: the up table loses its (write, S) Rule-I decision."""
+    compound = fresh_compound()
+    del compound.up_table[("write", "S")]
+    return compound
+
+
+def dead_table_row() -> CompoundProtocol:
+    """C002: a translation row keyed on the unreachable (M, I) state."""
+    compound = fresh_compound()
+    compound.rows.append(TranslationRow(
+        compound.global_.wire["inv"], ("M", "I"), None,
+        "Rsp to CXL Dir", ("I", "I")))
+    return compound
+
+
+def lost_interleaving() -> CompoundProtocol:
+    """R001: the closure 'forgets' every (M, E) state it should reach."""
+    compound = fresh_compound()
+    compound.reachable = {
+        state for state in compound.reachable if state[:2] != ("M", "E")}
+    compound.transitions = [
+        (state, event, nxt) for (state, event, nxt) in compound.transitions
+        if state[:2] != ("M", "E") and nxt[:2] != ("M", "E")]
+    return compound
+
+
+def orphan_state() -> CompoundProtocol:
+    """R002: a state claimed reachable that no transition path justifies."""
+    compound = fresh_compound()
+    compound.reachable.add(("S", "E", True))
+    return compound
+
+
+def dangling_transition() -> CompoundProtocol:
+    """R003: a transition into a state missing from the reachable set."""
+    compound = fresh_compound()
+    compound.transitions.append(
+        (("I", "I", False), "local-read", ("S", "S", True)))
+    return compound
+
+
+def pruning_disabled() -> CompoundProtocol:
+    """F001: forbidden-state pruning switched off entirely."""
+    compound = fresh_compound()
+    compound.forbidden = set()
+    return compound
+
+
+def over_pruned() -> CompoundProtocol:
+    """F002: RCC pairing forbidding (S, I) despite the RCC exemption."""
+    compound = fresh_compound("RCC", "CXL")
+    compound.forbidden = {("S", "I")}
+    return compound
+
+
+def forbidden_reachable_leak() -> CompoundProtocol:
+    """F003: a reachable pair stamped forbidden -- pruning is unsound."""
+    compound = fresh_compound()
+    compound.forbidden.add(("S", "S"))
+    return compound
+
+
+def malformed_transient() -> CompoundProtocol:
+    """P001: a next state using a letter outside the stable alphabets."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("M", "M"),
+                 next_state=("MZ^A", "MZ^A"))
+    return compound
+
+
+def stall_cycle() -> CompoundProtocol:
+    """P002: a transient whose only completion lands in a forbidden state."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("M", "M"),
+                 next_state=("IM^A", "MI^A"))  # completes into (M, I)
+    return compound
+
+
+def early_origin_effect() -> CompoundProtocol:
+    """N001: a crossing row answers the CXL directory before the recall."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("M", "M"),
+                 action="Rsp to CXL Dir")
+    return compound
+
+
+def nesting_disabled() -> CompoundProtocol:
+    """N002: a crossing row closes into a stable state (no nesting)."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("M", "M"),
+                 next_state=("I", "I"))
+    return compound
+
+
+def wrong_completion() -> CompoundProtocol:
+    """N003: an invalidation recall that waits for data instead of acks."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("M", "M"),
+                 next_state=("MI^D", "MI^D"))
+    return compound
+
+
+def spurious_nesting() -> CompoundProtocol:
+    """N004: a non-crossing row parks the line in a transient state."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("I", "S"),
+                 next_state=("II^A", "II^A"))
+    return compound
+
+
+#: rule id -> builder for the fixture that must trigger it.
+FIXTURES = {
+    "C001": unhandled_request_class,
+    "C002": dead_table_row,
+    "R001": lost_interleaving,
+    "R002": orphan_state,
+    "R003": dangling_transition,
+    "F001": pruning_disabled,
+    "F002": over_pruned,
+    "F003": forbidden_reachable_leak,
+    "P001": malformed_transient,
+    "P002": stall_cycle,
+    "N001": early_origin_effect,
+    "N002": nesting_disabled,
+    "N003": wrong_completion,
+    "N004": spurious_nesting,
+}
+
+
+def self_test(linter=None) -> dict:
+    """Lint every fixture; rule id -> True when its rule fired.
+
+    Used by ``repro lint --self-test`` and the test suite to prove each
+    rule actually catches its injected defect.
+    """
+    from repro.analysis.linter import ProtocolLinter
+
+    linter = linter or ProtocolLinter()
+    results = {}
+    for rule_id, builder in FIXTURES.items():
+        report = linter.lint(builder())
+        results[rule_id] = report.has_rule(rule_id)
+    return results

@@ -1,0 +1,66 @@
+"""Forbidden-state pass: generator and checker cross-validate.
+
+The generator prunes compound states with ``_forbidden_states`` (its
+Rule-II by-product: inclusion and permission escalation).  The
+verification layer states the same vocabulary independently in
+:func:`repro.verify.invariants.derive_forbidden_pairs`.  This pass
+diffs the two derivations, so neither side can silently drift:
+
+- a derived-forbidden pair the generator does *not* forbid means the
+  pruning was weakened (e.g. disabled in a fixture spec) -- the runtime
+  invariant monitor would be the only thing left to catch (M, I);
+- a generator-forbidden pair the derivation allows means the generator
+  over-prunes and silently amputates legal protocol behaviour;
+- a forbidden pair inside the reachable set is an outright soundness
+  leak (the generator asserts this at synthesis; the linter re-checks
+  it on the artifact, which may have been tampered with or gone stale).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import ERROR, Finding, LintPass
+from repro.verify.invariants import derive_forbidden_pairs
+
+
+class ForbiddenStatePass(LintPass):
+    """Diff the generator's pruning against the independent derivation."""
+
+    name = "forbidden"
+    rules = {
+        "F001": "under-pruned: independently derived forbidden pair is "
+                "missing from the generator's forbidden set",
+        "F002": "over-pruned: generator forbids a pair the independent "
+                "derivation allows",
+        "F003": "forbidden pair leaked into the reachable set",
+    }
+
+    def run(self, compound) -> list:
+        """Audit the forbidden set from both directions, then for leaks."""
+        derived = derive_forbidden_pairs(
+            compound.local.variant,
+            compound.global_.variant,
+            summaries=compound.local.summaries(),
+        )
+        findings = []
+        for pair in sorted(derived - compound.forbidden):
+            findings.append(Finding(
+                "F001", ERROR,
+                f"{compound.name} {pair}",
+                "inclusion/escalation analysis forbids this pair but the "
+                "generator did not prune it: pruning weakened or disabled",
+            ))
+        for pair in sorted(compound.forbidden - derived):
+            findings.append(Finding(
+                "F002", ERROR,
+                f"{compound.name} {pair}",
+                "generator prunes this pair but the independent derivation "
+                "allows it: legal behaviour silently amputated",
+            ))
+        for pair in sorted(compound.forbidden & compound.reachable_pairs()):
+            findings.append(Finding(
+                "F003", ERROR,
+                f"{compound.name} {pair}",
+                "pair is both forbidden and reachable: Rule-II pruning is "
+                "unsound for this artifact",
+            ))
+        return findings

@@ -1,0 +1,71 @@
+"""The linter façade: run every pass over protocol artifacts.
+
+:class:`ProtocolLinter` bundles the five static passes and runs them
+over a single :class:`~repro.core.generator.CompoundProtocol`, a named
+pairing, or every registered pairing.  It is the engine behind
+``python -m repro lint`` and the CI gate; nothing in it ever invokes
+the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.completeness import CompletenessPass
+from repro.analysis.findings import Report
+from repro.analysis.forbidden import ForbiddenStatePass
+from repro.analysis.progress import ProgressPass
+from repro.analysis.reachability import ReachabilityPass
+from repro.analysis.rule2 import RuleTwoPass
+
+#: Every shipped pass, in report order.
+ALL_PASSES = (
+    CompletenessPass,
+    ReachabilityPass,
+    ForbiddenStatePass,
+    ProgressPass,
+    RuleTwoPass,
+)
+
+
+def registered_pairs() -> list:
+    """All (local, global) spec-name pairs the generator can synthesize."""
+    from repro.core.spec import GLOBAL_SPECS, LOCAL_SPECS
+
+    return list(itertools.product(LOCAL_SPECS, GLOBAL_SPECS))
+
+
+class ProtocolLinter:
+    """Run the static-analysis passes over compound-protocol artifacts."""
+
+    def __init__(self, passes=None) -> None:
+        self.passes = [cls() for cls in (ALL_PASSES if passes is None else passes)]
+
+    def rules(self) -> dict:
+        """Stable rule-id -> (pass name, one-line description) registry."""
+        table = {}
+        for pass_ in self.passes:
+            for rule_id, description in pass_.rules.items():
+                table[rule_id] = (pass_.name, description)
+        return dict(sorted(table.items()))
+
+    def lint(self, compound) -> Report:
+        """Run every pass over one compound protocol."""
+        report = Report(pair=compound.name)
+        for pass_ in self.passes:
+            report.extend(pass_.run(compound))
+        return report
+
+    def lint_pair(self, local_name: str, global_name: str) -> Report:
+        """Generate (or load from cache) one pairing and lint it."""
+        from repro.core.generator import generate
+
+        return self.lint(generate(local_name, global_name))
+
+    def lint_all(self) -> dict:
+        """Lint every registered pairing; pair name -> Report."""
+        reports = {}
+        for local_name, global_name in registered_pairs():
+            report = self.lint_pair(local_name, global_name)
+            reports[report.pair] = report
+        return reports

@@ -1,0 +1,149 @@
+"""Progress pass: transient states must always complete.
+
+The translation table's next states may be *transient* -- ``MI^A`` is
+"was M, heading to I, waiting for acks"; the suffix after ``^`` lists
+the completion messages still pending (``A`` acks, ``D`` data).  A
+transient state completes into its target stable state when those
+messages arrive; Rule II keeps the line blocked until then.
+
+Statically, livelock candidates are exactly the transient states from
+which no completion path leads back to a *stable, legal* compound state:
+a malformed annotation (unknown target letter, empty pending set), or a
+completion edge that lands in a forbidden state, leaves the line blocked
+forever -- every cycle through that state lacks a completion edge.  This
+pass parses every state annotation in the table, builds the transient-
+state graph (table edges plus implied completion edges), and searches it
+for transients that cannot reach stability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.findings import ERROR, Finding, LintPass
+
+#: Completion-message letters a pending suffix may contain.
+PENDING_LETTERS = frozenset({"A", "D"})
+
+
+@dataclass(frozen=True)
+class Component:
+    """One parsed component (local or global side) of a table state."""
+
+    text: str
+    stable: bool
+    target: str  # stable letter this component settles into
+    pending: frozenset  # completion messages awaited (empty if stable)
+
+
+def parse_component(text: str, alphabet) -> Component | None:
+    """Parse one state component against its stable-state alphabet.
+
+    Returns None when the annotation is malformed: an unknown stable
+    letter, a transient whose endpoints are not single known letters,
+    or a pending suffix that is empty or uses unknown message letters.
+    """
+    if "^" not in text:
+        if text in alphabet:
+            return Component(text, stable=True, target=text,
+                             pending=frozenset())
+        return None
+    head, _sep, pending = text.partition("^")
+    if len(head) != 2 or head[0] not in alphabet or head[1] not in alphabet:
+        return None
+    if not pending or not set(pending) <= PENDING_LETTERS:
+        return None
+    return Component(text, stable=False, target=head[1],
+                     pending=frozenset(pending))
+
+
+def parse_state(state, compound):
+    """Parse a compound (local, global) table state into Components.
+
+    Returns ``(local_component, global_component)``; either may be None
+    when malformed.
+    """
+    local_alpha = compound.local.summaries()
+    global_alpha = compound.global_.variant.state_names()
+    return (parse_component(state[0], local_alpha),
+            parse_component(state[1], global_alpha))
+
+
+class ProgressPass(LintPass):
+    """Search the transient-state graph for states that never complete."""
+
+    name = "progress"
+    rules = {
+        "P001": "malformed transient-state annotation in the translation "
+                "table",
+        "P002": "stall cycle: transient state with no completion path to "
+                "a stable legal state",
+    }
+
+    def run(self, compound) -> list:
+        """Parse annotations, build the graph, flag non-completing states."""
+        findings = []
+        nodes = {}  # state pair -> (local Component | None, global | None)
+        edges = {}  # state pair -> set of successor state pairs
+        for row in compound.rows:
+            for state in (row.state, row.next_state):
+                if state not in nodes:
+                    nodes[state] = parse_state(state, compound)
+            edges.setdefault(row.state, set()).add(row.next_state)
+
+        stable_ok = set()  # fully-stable, non-forbidden nodes
+        for state, (lc, gc) in sorted(nodes.items()):
+            for component, side in ((lc, "local"), (gc, "global")):
+                if component is None:
+                    findings.append(Finding(
+                        "P001", ERROR,
+                        f"{compound.name} {state}",
+                        f"{side} component of the table state does not parse "
+                        "as a stable state or a well-formed transient "
+                        "(from/to letters plus a ^A/^D/^AD pending suffix)",
+                    ))
+            if lc is None or gc is None:
+                continue
+            if lc.stable and gc.stable:
+                if state not in compound.forbidden:
+                    stable_ok.add(state)
+                continue
+            # Implied completion edge: the pending messages arrive and
+            # both components settle into their targets.
+            target = (lc.target, gc.target)
+            if target in compound.forbidden:
+                continue  # completing would be illegal: no edge
+            edges.setdefault(state, set()).add(target)
+            if target not in nodes:
+                nodes[target] = parse_state(target, compound)
+                if all(c is not None and c.stable for c in nodes[target]):
+                    stable_ok.add(target)
+
+        for state, (lc, gc) in sorted(nodes.items()):
+            if lc is None or gc is None or (lc.stable and gc.stable):
+                continue
+            if not self._reaches_stable(state, edges, stable_ok):
+                findings.append(Finding(
+                    "P002", ERROR,
+                    f"{compound.name} {state}",
+                    "no completion path from this transient state reaches a "
+                    "stable legal state: every cycle through it lacks a "
+                    "completion edge (static livelock candidate)",
+                ))
+        return findings
+
+    @staticmethod
+    def _reaches_stable(start, edges, stable_ok) -> bool:
+        """BFS: can ``start`` reach any stable legal node?"""
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            state = frontier.popleft()
+            if state in stable_ok:
+                return True
+            for nxt in edges.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False

@@ -1,0 +1,96 @@
+"""Reachability pass: the closure, the legal set, and the graph agree.
+
+The generator claims three things that must be mutually consistent:
+the set of *legal* compound pairs (Cartesian product minus pruning),
+the set of *reachable* states (closure from (I, I)), and the recorded
+*transition* list.  This pass re-checks all three against each other:
+
+- a legal pair the closure never visits is suspicious -- either the
+  traversal lost an event interleaving or the pruning rule is too weak
+  (e.g. pruning disabled: the formerly-forbidden pairs become "legal"
+  yet nothing reaches them);
+- a state recorded reachable but disconnected from (I, I) in the
+  transition graph is an orphan the closure cannot justify;
+- a transition endpoint missing from the reachable set means the
+  recorded FSM and the recorded state set describe different machines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.findings import ERROR, Finding, LintPass
+
+#: The compound machine's start state.
+START = ("I", "I", False)
+
+
+class ReachabilityPass(LintPass):
+    """Cross-validate legal pairs, reachable states and transitions."""
+
+    name = "reachability"
+    rules = {
+        "R001": "legal compound pair is unreachable from (I, I)",
+        "R002": "state recorded reachable but disconnected from (I, I) "
+                "in the transition graph",
+        "R003": "transition endpoint missing from the reachable set",
+    }
+
+    def run(self, compound) -> list:
+        """Audit the closure artifacts for mutual consistency."""
+        findings = []
+        findings.extend(self._check_legal_reached(compound))
+        findings.extend(self._check_graph_connected(compound))
+        findings.extend(self._check_transition_endpoints(compound))
+        return findings
+
+    def _check_legal_reached(self, compound) -> list:
+        """Every legal (attainable, unpruned) pair must be reached."""
+        findings = []
+        unreached = compound.legal_pairs() - compound.reachable_pairs()
+        for pair in sorted(unreached):
+            findings.append(Finding(
+                "R001", ERROR,
+                f"{compound.name} {pair}",
+                "compound pair survives pruning and is attainable by the "
+                "local protocol, yet the closure from (I, I) never reaches "
+                "it: lost interleaving or under-constrained pruning",
+            ))
+        return findings
+
+    def _check_graph_connected(self, compound) -> list:
+        """BFS over the recorded transitions must cover the reachable set."""
+        graph = compound.transition_graph()
+        seen = {START}
+        frontier = deque([START])
+        while frontier:
+            state = frontier.popleft()
+            for _event, nxt in graph.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        findings = []
+        for state in sorted(compound.reachable - seen):
+            findings.append(Finding(
+                "R002", ERROR,
+                f"{compound.name} {state}",
+                "state is recorded reachable but no transition path from "
+                "(I, I, False) leads to it: orphan state",
+            ))
+        return findings
+
+    def _check_transition_endpoints(self, compound) -> list:
+        """Transitions may only connect states the closure recorded."""
+        findings = []
+        reachable = compound.reachable
+        for state, event, nxt in compound.transitions:
+            for endpoint, role in ((state, "source"), (nxt, "target")):
+                if endpoint not in reachable:
+                    findings.append(Finding(
+                        "R003", ERROR,
+                        f"{compound.name} {state} --{event}--> {nxt}",
+                        f"transition {role} {endpoint} is missing from the "
+                        "reachable set: the FSM and the state set describe "
+                        "different machines",
+                    ))
+        return findings

@@ -1,0 +1,112 @@
+"""Rule-II audit: transaction nesting holds by construction.
+
+Rule II (paper Sec. IV-B) demands that a transaction crossing domains
+nests: the origin domain must observe *no* effect -- no data grant, no
+ack, no directory update -- until the target domain's completion message
+arrives.  The runtime bridge enforces this dynamically (and the Fig. 4
+``violate_atomicity`` experiment shows what happens when it does not);
+this pass proves the *discipline is encoded in the tables themselves*:
+
+- a translation row that performs a cross-domain access (``X-Acc`` is
+  Load or Store) must not emit any message back to the origin domain in
+  the same row (that would be an effect before completion);
+- its next state must be transient -- the transaction stays open,
+  pending the target domain's completion;
+- the pending suffix must actually await the right completion class:
+  acks (``A``) for an invalidation reaching into the local caches, data
+  (``D``) for a recall-data or an upward miss.
+
+Rows without a cross-domain access must conversely settle immediately;
+a non-crossing row that parks the line in a transient state blocks it
+with nothing pending.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import ERROR, Finding, LintPass, WARNING
+from repro.analysis.progress import parse_state
+
+#: Action-string endpoint tokens used by the translation emitter.
+GLOBAL_DOMAIN = "CXL Dir"
+LOCAL_DOMAIN = "Host $"
+
+
+class RuleTwoPass(LintPass):
+    """Verify the nesting discipline from the translation rows alone."""
+
+    name = "rule2"
+    rules = {
+        "N001": "early origin-domain effect: a cross-domain row emits a "
+                "message back to the origin before completion",
+        "N002": "unnested crossing: a cross-domain row closes into a "
+                "stable state instead of awaiting completion",
+        "N003": "pending mismatch: the transient does not await the "
+                "completion message class the crossing implies",
+        "N004": "spurious nesting: a non-crossing row parks the line in "
+                "a transient state",
+    }
+
+    def run(self, compound) -> list:
+        """Audit every translation row against the nesting discipline."""
+        down_inv = compound.global_.wire.get("inv")
+        down_data = compound.global_.wire.get("data")
+        up_messages = {compound.local.wire.get("GetS"),
+                       compound.local.wire.get("GetM")}
+        findings = []
+        for row in compound.rows:
+            if row.message in (down_inv, down_data):
+                direction = "down"
+                origin = GLOBAL_DOMAIN
+                required = {"A"} if row.message == down_inv else {"D"}
+            elif row.message in up_messages:
+                direction = "up"
+                origin = LOCAL_DOMAIN
+                required = {"D"}
+            else:
+                continue  # not a protocol row this audit understands
+            findings.extend(self._check_row(
+                compound, row, direction, origin, required))
+        return findings
+
+    def _check_row(self, compound, row, direction, origin, required) -> list:
+        findings = []
+        subject = f"{compound.name} row {row.message} @ {row.state}"
+        transient = any("^" in part for part in row.next_state)
+        if row.x_access is None:
+            if transient:
+                findings.append(Finding(
+                    "N004", WARNING, subject,
+                    "row performs no cross-domain access yet its next state "
+                    f"{row.next_state} is transient: the line blocks with "
+                    "nothing pending",
+                ))
+            return findings
+        if origin in row.action:
+            findings.append(Finding(
+                "N001", ERROR, subject,
+                f"cross-domain ({direction}ward) row emits {row.action!r} "
+                "toward the origin domain before the target domain "
+                "completed: Rule-II nesting broken (early ack/data)",
+            ))
+        if not transient:
+            findings.append(Finding(
+                "N002", ERROR, subject,
+                f"cross-domain row closes directly into {row.next_state} "
+                "with nothing pending: the nested transaction is not held "
+                "open until the target domain completes",
+            ))
+            return findings
+        pending = set()
+        parsed_any = False
+        for component in parse_state(row.next_state, compound):
+            if component is not None and not component.stable:
+                parsed_any = True
+                pending |= component.pending
+        if parsed_any and not required <= pending:
+            findings.append(Finding(
+                "N003", ERROR, subject,
+                f"transient {row.next_state} awaits {sorted(pending) or None}"
+                f" but this crossing completes on {sorted(required)}: the "
+                "row would unblock on the wrong message",
+            ))
+        return findings

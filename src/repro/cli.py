@@ -9,6 +9,10 @@ exposes the library's main entry points without writing any code:
 - ``workload``    run one kernel and print its statistics.
 - ``fig9/fig10/fig11``  regenerate a figure.
 - ``slicc``       dump the generated compound controller.
+- ``lint``        statically lint the generated protocol artifacts
+  (``--strict`` fails on any finding, ``--self-test`` proves every rule
+  fires on its injected-defect fixture; exit 0 clean / 1 findings /
+  2 internal error).
 - ``list``        list available workloads and litmus tests.
 
 The sweep subcommands (``table4``, ``fig9``, ``fig10``, ``fig11``)
@@ -89,14 +93,96 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig11", help="regenerate Figure 11")
     _add_jobs_flag(p)
 
+    p = sub.add_parser(
+        "lint",
+        help="statically lint the generated protocol artifacts",
+        description="Run the repro.analysis passes over generated compound "
+                    "protocols -- no simulation involved.  Exit codes: 0 "
+                    "clean, 1 findings, 2 internal error.")
+    p.add_argument("--pair", action="append", metavar="LOCAL:GLOBAL",
+                   help="lint only this pairing, e.g. MESI:CXL (repeatable; "
+                        "default: every registered pairing)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the reports as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any finding, not just error severity")
+    p.add_argument("--self-test", action="store_true",
+                   help="also lint the injected-defect fixtures and verify "
+                        "every rule fires")
+    p.add_argument("--rules", action="store_true",
+                   help="list the rule catalogue and exit")
+
     p = sub.add_parser("slicc", help="dump a generated compound controller")
-    p.add_argument("local", choices=["MESI", "MESIF", "MOESI", "RCC"])
-    p.add_argument("global_", metavar="global", choices=["CXL", "MESI"])
+    p.add_argument("local", help="local protocol (MESI, MESIF, MOESI, RCC; "
+                                 "case-insensitive)")
+    p.add_argument("global_", metavar="global",
+                   help="global protocol (CXL or MESI; case-insensitive)")
     p.add_argument("--table", action="store_true",
                    help="print the translation table instead")
 
     sub.add_parser("list", help="list workloads and litmus tests")
     return parser
+
+
+def _parse_lint_pair(text: str) -> tuple[str, str]:
+    parts = text.split(":")
+    if len(parts) != 2 or not all(parts):
+        raise ValueError(f"--pair must look like MESI:CXL, got {text!r}")
+    return (parts[0], parts[1])
+
+
+def _cmd_lint(args) -> int:
+    """``repro lint``: run the static protocol linter (exit 0/1/2)."""
+    import json
+
+    from repro.analysis import ProtocolLinter, registered_pairs
+    from repro.errors import ProtocolError
+
+    linter = ProtocolLinter()
+    if args.rules:
+        for rule_id, (pass_name, description) in linter.rules().items():
+            print(f"{rule_id}  {pass_name:<13} {description}")
+        return 0
+    try:
+        pairs = ([_parse_lint_pair(text) for text in args.pair]
+                 if args.pair else registered_pairs())
+        reports = []
+        for local_name, global_name in pairs:
+            reports.append(linter.lint_pair(local_name, global_name))
+        self_test_results = None
+        if args.self_test:
+            from repro.analysis.fixtures import self_test
+
+            self_test_results = self_test(linter)
+    except (ProtocolError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # internal linter failure, not a finding
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    failed = any(not report.clean(strict=args.strict) for report in reports)
+    missed_rules = sorted(
+        rule for rule, fired in (self_test_results or {}).items() if not fired)
+    if args.json:
+        payload = {
+            "reports": [report.to_dict() for report in reports],
+            "findings": sum(len(r.findings) for r in reports),
+            "clean": not failed,
+        }
+        if self_test_results is not None:
+            payload["self_test"] = self_test_results
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.format())
+        if self_test_results is not None:
+            fired = sum(self_test_results.values())
+            print(f"self-test: {fired}/{len(self_test_results)} rules fire "
+                  "on their injected-defect fixtures")
+            for rule in missed_rules:
+                print(f"  MISSED: {rule}")
+    return 1 if (failed or missed_rules) else 0
 
 
 def main(argv=None) -> int:
@@ -196,12 +282,20 @@ def main(argv=None) -> int:
         print(figure11(jobs=args.jobs).format())
         return 0
 
+    if command == "lint":
+        return _cmd_lint(args)
+
     if command == "slicc":
         from repro.core.generator import generate
         from repro.core.slicc import emit
         from repro.core.translation import format_table
+        from repro.errors import ProtocolError
 
-        compound = generate(args.local, args.global_)
+        try:
+            compound = generate(args.local, args.global_)
+        except ProtocolError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if args.table:
             print(format_table(compound.rows,
                                title=f"C3 translation table ({compound.name})"))

@@ -35,8 +35,8 @@ from typing import Callable
 
 from repro.errors import ProtocolError
 from repro.protocols import messages as m
-from repro.protocols.variants import ProtocolVariant, READ, WRITE
-from repro.core.policy import BridgePolicy, X_LOAD, X_STORE
+from repro.protocols.variants import ProtocolVariant, WRITE
+from repro.core.policy import BridgePolicy, X_STORE
 from repro.sim.cache import CacheArray, CacheLine
 from repro.sim.engine import Engine
 from repro.sim.network import Network, Node

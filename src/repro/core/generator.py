@@ -32,7 +32,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.policy import BridgePolicy, X_LOAD, X_STORE
-from repro.core.spec import ProtocolSpec, global_spec, local_spec
+from repro.core.spec import (
+    ProtocolSpec,
+    canonical_global_name,
+    canonical_local_name,
+    global_spec,
+    local_spec,
+)
 from repro.core.translation import TranslationRow
 from repro.protocols.variants import NONE, READ, WRITE
 
@@ -66,6 +72,49 @@ class CompoundProtocol:
     def reachable_pairs(self) -> set:
         """Reachable (local, global) pairs with the stale bit collapsed."""
         return {(l, g) for (l, g, _stale) in self.reachable}
+
+    # -- introspection hooks (consumed by repro.analysis) ---------------
+    def request_classes(self) -> tuple[str, ...]:
+        """Abstract request classes keyed in the upward decision table."""
+        return ("read", "write")
+
+    def snoop_classes(self) -> tuple[str, ...]:
+        """Abstract snoop classes keyed in the downward decision table."""
+        return ("inv", "data")
+
+    def state_product(self) -> set:
+        """Full Cartesian (local summary, global state) pair alphabet."""
+        return {
+            (l, g)
+            for l in self.local.summaries()
+            for g in self.global_.variant.state_names()
+        }
+
+    def attainable_summaries(self) -> tuple[str, ...]:
+        """Local summaries the directory can actually report.
+
+        A self-invalidating local protocol (RCC) never registers holders
+        in the bridge directory, so its summary is pinned at ``I``; for
+        MESI-family locals the whole alphabet is attainable.
+        """
+        if self.local.variant.self_invalidating:
+            return ("I",)
+        return self.local.summaries()
+
+    def legal_pairs(self) -> set:
+        """Attainable pairs that survived forbidden-state pruning."""
+        return {
+            (l, g)
+            for (l, g) in self.state_product()
+            if l in self.attainable_summaries()
+        } - self.forbidden
+
+    def transition_graph(self) -> dict:
+        """Adjacency view of the closure: state -> [(event, next), ...]."""
+        graph: dict = {state: [] for state in self.reachable}
+        for state, event, nxt in self.transitions:
+            graph.setdefault(state, []).append((event, nxt))
+        return graph
 
 
 class GeneratedPolicy(BridgePolicy):
@@ -158,7 +207,7 @@ def _disk_cache_path(local_name: str, global_name: str) -> Path | None:
 
 def clear_fsm_cache(disk: bool = False) -> None:
     """Drop the per-process memo (and the on-disk pickles if ``disk``)."""
-    generate.cache_clear()
+    _generate_cached.cache_clear()
     if not disk:
         return
     directory = _disk_cache_dir()
@@ -171,17 +220,27 @@ def clear_fsm_cache(disk: bool = False) -> None:
             pass
 
 
-@functools.lru_cache(maxsize=None)
 def generate(local_name: str, global_name: str) -> CompoundProtocol:
     """Synthesize (and memoize) the compound protocol for a pairing.
 
-    Memoization is two-level: an in-process ``functools.lru_cache`` so
-    each (local, global) pair is synthesized at most once per process,
-    plus an optional on-disk pickle cache (``REPRO_FSM_CACHE``) so
-    sweep worker processes can load a pairing instead of re-running the
-    traversal.  Disk entries are salted with a source fingerprint and
-    any unreadable/stale pickle falls through to a fresh synthesis.
+    Names resolve case-insensitively against the registered specs
+    (``generate("mesi", "cxl")`` works) and an unknown name raises
+    :class:`repro.errors.UnknownProtocolError` listing the options.
+
+    Memoization is two-level: an in-process ``functools.lru_cache``
+    (keyed on the *canonical* spec names, so case variants share one
+    entry) so each (local, global) pair is synthesized at most once per
+    process, plus an optional on-disk pickle cache (``REPRO_FSM_CACHE``)
+    so sweep worker processes can load a pairing instead of re-running
+    the traversal.  Disk entries are salted with a source fingerprint
+    and any unreadable/stale pickle falls through to a fresh synthesis.
     """
+    return _generate_cached(canonical_local_name(local_name),
+                            canonical_global_name(global_name))
+
+
+@functools.lru_cache(maxsize=None)
+def _generate_cached(local_name: str, global_name: str) -> CompoundProtocol:
     local = local_spec(local_name)
     global_ = global_spec(global_name)
     path = _disk_cache_path(local_name, global_name)
@@ -385,7 +444,6 @@ def _translation_rows(compound: CompoundProtocol) -> list:
             stale = l in ("M", "O")
             x = compound.down_table[("data", l, stale)]
             if x is not None:
-                nxt_l = "O" if local.variant.has_o_state else "S"
                 rows.append(TranslationRow(
                     wire["data"], (l, g), "Load",
                     f"{lwire['fwd_gets']} to Host $",

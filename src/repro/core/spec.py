@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import UnknownProtocolError
 from repro.protocols.variants import (
     CXL,
     GLOBAL_MESI,
@@ -130,17 +131,35 @@ LOCAL_SPECS = {
 GLOBAL_SPECS = {"CXL": CXL_SPEC, "MESI": GMESI_SPEC}
 
 
+def _resolve_name(name: str, registry: dict, kind: str) -> str:
+    """Resolve a (possibly lowercase) name to its canonical registry key."""
+    if name in registry:
+        return name
+    folded = str(name).casefold()
+    for canonical in registry:
+        if canonical.casefold() == folded:
+            return canonical
+    raise UnknownProtocolError(
+        f"no {kind} protocol spec named {name!r}; "
+        f"available: {', '.join(sorted(registry))}"
+    )
+
+
+def canonical_local_name(name: str) -> str:
+    """Canonical registry key for a local protocol name (case-insensitive)."""
+    return _resolve_name(name, LOCAL_SPECS, "local")
+
+
+def canonical_global_name(name: str) -> str:
+    """Canonical registry key for a global protocol name (case-insensitive)."""
+    return _resolve_name(name, GLOBAL_SPECS, "global")
+
+
 def local_spec(name: str) -> ProtocolSpec:
-    """Look up a local (intra-cluster) protocol spec by name."""
-    try:
-        return LOCAL_SPECS[name]
-    except KeyError:
-        raise ValueError(f"no local protocol spec {name!r}") from None
+    """Look up a local (intra-cluster) protocol spec, case-insensitively."""
+    return LOCAL_SPECS[canonical_local_name(name)]
 
 
 def global_spec(name: str) -> ProtocolSpec:
-    """Look up a global protocol spec by name (CXL or MESI)."""
-    try:
-        return GLOBAL_SPECS[name]
-    except KeyError:
-        raise ValueError(f"no global protocol spec {name!r}") from None
+    """Look up a global protocol spec (CXL or MESI), case-insensitively."""
+    return GLOBAL_SPECS[canonical_global_name(name)]

@@ -10,5 +10,13 @@ class ProtocolError(RuntimeError):
     """
 
 
+class UnknownProtocolError(ProtocolError):
+    """A protocol name failed to resolve against the registered specs.
+
+    Carries a human-readable message listing the available names, so CLI
+    front-ends can surface it directly instead of a traceback.
+    """
+
+
 class ConsistencyViolation(AssertionError):
     """An invariant monitor observed a violation (SWMR, value, inclusion)."""

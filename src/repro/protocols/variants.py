@@ -15,7 +15,7 @@ marks states whose holder owns data newer than the level below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 NONE = 0
 READ = 1

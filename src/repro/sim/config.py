@@ -16,7 +16,7 @@ CXL memory     DDR5-4400, 1 channel, 10 ns device latency
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: One tick is one picosecond.
 TICKS_PER_NS = 1000

@@ -107,7 +107,8 @@ class L1Controller(Node):
     # ------------------------------------------------------------------
     def core_request(self, kind: str, addr: int, value: int, callback: Callable) -> None:
         """Core-facing entry: perform ``kind`` on ``addr``; answers via ``callback(value)``."""
-        self.engine.schedule(self.hit_latency, self._start, kind, addr, value, callback, self.engine.now)
+        self.engine.schedule(self.hit_latency, self._start, kind, addr, value,
+                             callback, self.engine.now)
 
     def _start(self, kind, addr, value, callback, t0) -> None:
         if addr in self.mshrs:
@@ -438,7 +439,8 @@ class L1Controller(Node):
             self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
                                 extra={"dirty": dirty, "inv": True}))
         else:
-            self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester, meta="M", data=data))
+            self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
+                                meta="M", data=data))
             self.send(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
                                 extra={"kept": "I", "dirty": dirty}))
         if line.state in ("MI_A", "EI_A", "OI_A"):
@@ -528,7 +530,8 @@ class RccL1(Node):
 
     def core_request(self, kind, addr, value, callback) -> None:
         """Core-facing entry for the RCC cache; answers via ``callback``."""
-        self.engine.schedule(self.hit_latency, self._start, kind, addr, value, callback, self.engine.now)
+        self.engine.schedule(self.hit_latency, self._start, kind, addr, value,
+                             callback, self.engine.now)
 
     def _start(self, kind, addr, value, callback, t0) -> None:
         if kind.startswith("PREFETCH"):
@@ -556,7 +559,8 @@ class RccL1(Node):
                 line.data = value
             meta = {"STORE": None, "STORE_REL": "REL", "RMW": "RMW"}[kind]
             self._write_cbs.setdefault(addr, deque()).append((callback, t0, kind))
-            self.send(m.Message(m.RCC_WRITE, addr, self.node_id, self.dir_id, meta=meta, data=value))
+            self.send(m.Message(m.RCC_WRITE, addr, self.node_id, self.dir_id,
+                                meta=meta, data=value))
             return
         raise ProtocolError(f"{self.node_id}: unknown core request {kind}")
 

@@ -23,12 +23,41 @@ the transient SWMR window that ``violate_atomicity`` opens.
 from __future__ import annotations
 
 from repro.errors import ConsistencyViolation
-from repro.protocols.variants import WRITE
+from repro.protocols.variants import NONE, READ, WRITE
 from repro.sim.l1 import RccL1
 
 #: L1 states with write permission / any permission.
 _WRITER_STATES = {"E", "M"}
 _HOLDER_STATES = {"S", "E", "M", "O", "F"}
+
+#: Permission carried by each local-directory summary letter.
+_SUMMARY_PERM = {"I": NONE, "S": READ, "O": READ, "M": WRITE}
+
+
+def derive_forbidden_pairs(local_variant, global_variant,
+                           summaries=("I", "S", "M")) -> set:
+    """Independently re-derive the forbidden compound-state vocabulary.
+
+    This is the invariant layer's own statement of which (local summary,
+    global state) pairs Rule II must never let exist: inclusion (a local
+    holder implies a global copy) and permission escalation (local write
+    permission implies global write permission), with the RCC
+    self-invalidation exemption (paper footnote 5).  It deliberately
+    shares no code with the generator's ``_forbidden_states`` so the
+    static analyzer (:mod:`repro.analysis.forbidden`) can diff the two
+    derivations and catch either side drifting.
+    """
+    forbidden: set = set()
+    if local_variant.self_invalidating:
+        return forbidden
+    for l in summaries:
+        for g in global_variant.state_names():
+            if l != "I" and g == "I":
+                forbidden.add((l, g))
+            elif (_SUMMARY_PERM[l] == WRITE
+                  and global_variant.perm(g) < WRITE):
+                forbidden.add((l, g))
+    return forbidden
 
 
 def _cluster_lines(system):

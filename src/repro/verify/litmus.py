@@ -16,7 +16,7 @@ synchronization the compound model must never produce them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.isa import ThreadProgram, load, store
 from repro.verify.armor import fences_for

@@ -1,0 +1,161 @@
+"""Tests for the static protocol linter (repro.analysis).
+
+Two halves: golden-finding tests proving each rule fires on its
+injected-defect fixture (no simulator involved anywhere), and the
+"all shipped protocol pairs lint clean" gate.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import ERROR, Finding, ProtocolLinter, registered_pairs
+from repro.analysis import fixtures
+from repro.analysis.findings import Report
+from repro.analysis.progress import parse_component
+from repro.core.generator import generate
+
+LINTER = ProtocolLinter()
+
+
+# ---------------------------------------------------------------------------
+# Shipped artifacts are clean.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("local,global_", registered_pairs(),
+                         ids=lambda v: str(v))
+def test_all_shipped_pairs_lint_clean(local, global_):
+    report = LINTER.lint_pair(local, global_)
+    assert report.findings == [], report.format()
+    assert report.clean(strict=True)
+
+
+def test_registered_pairs_cover_the_spec_registries():
+    from repro.core.spec import GLOBAL_SPECS, LOCAL_SPECS
+
+    assert set(registered_pairs()) == set(
+        itertools.product(LOCAL_SPECS, GLOBAL_SPECS))
+
+
+def test_lint_all_returns_one_report_per_pair():
+    reports = LINTER.lint_all()
+    assert len(reports) == len(registered_pairs())
+    assert all(report.clean() for report in reports.values())
+
+
+# ---------------------------------------------------------------------------
+# Golden findings: every rule fires on its injected defect.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rule_id", sorted(fixtures.FIXTURES),
+                         ids=lambda v: str(v))
+def test_each_rule_fires_on_its_fixture(rule_id):
+    compound = fixtures.FIXTURES[rule_id]()
+    report = LINTER.lint(compound)
+    assert report.has_rule(rule_id), (
+        f"{rule_id} did not fire; got: {report.format()}")
+
+
+def test_self_test_reports_every_rule():
+    results = fixtures.self_test(LINTER)
+    assert set(results) == set(LINTER.rules())
+    assert all(results.values())
+
+
+def test_fixtures_do_not_poison_the_generator_memo():
+    fixtures.unhandled_request_class()  # mutates only its own deep copy
+    assert ("write", "S") in generate("MESI", "CXL").up_table
+    report = LINTER.lint_pair("MESI", "CXL")
+    assert report.clean(strict=True)
+
+
+def test_pruning_disabled_is_caught_statically():
+    """Disabling the generator's pruning is caught with zero simulation."""
+    report = LINTER.lint(fixtures.pruning_disabled())
+    assert report.has_rule("F001")
+    # The formerly-forbidden pairs also surface as legal-but-unreachable.
+    assert report.has_rule("R001")
+    subjects = " ".join(f.subject for f in report.findings)
+    assert "('M', 'I')" in subjects
+
+
+def test_rule2_nesting_disabled_is_caught_statically():
+    """An early-ack (Fig. 4 style) table is caught without a litmus run."""
+    report = LINTER.lint(fixtures.nesting_disabled())
+    assert report.has_rule("N002")
+    assert any(f.severity == ERROR for f in report.findings)
+
+
+def test_unhandled_request_class_names_the_table_entry():
+    report = LINTER.lint(fixtures.unhandled_request_class())
+    finding = next(f for f in report.findings if f.rule_id == "C001")
+    assert "up_table" in finding.subject and "'write'" in finding.subject
+
+
+def test_stall_cycle_fixture_has_no_completion_path():
+    report = LINTER.lint(fixtures.stall_cycle())
+    finding = next(f for f in report.findings if f.rule_id == "P002")
+    assert "livelock" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# Result types and helpers.
+# ---------------------------------------------------------------------------
+
+def test_finding_and_report_round_trip_to_dict():
+    finding = Finding("C001", ERROR, "up_table[('write', 'S')]", "boom")
+    report = Report(pair="MESI-CXL", findings=[finding])
+    payload = report.to_dict()
+    assert payload["pair"] == "MESI-CXL"
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule_id"] == "C001"
+    assert "C001" in report.format()
+
+
+def test_report_strict_mode_counts_warnings():
+    warning = Finding("C002", "warning", "row", "dead")
+    report = Report(pair="X", findings=[warning])
+    assert report.clean()  # warnings pass the default gate
+    assert not report.clean(strict=True)
+
+
+def test_rule_registry_is_stable_and_documented():
+    rules = LINTER.rules()
+    assert set(rules) == {
+        "C001", "C002", "R001", "R002", "R003", "F001", "F002", "F003",
+        "P001", "P002", "N001", "N002", "N003", "N004"}
+    assert all(description for _pass, description in rules.values())
+
+
+def test_parse_component_accepts_stable_and_transient():
+    alpha = ("I", "S", "E", "M")
+    stable = parse_component("S", alpha)
+    assert stable.stable and stable.target == "S"
+    transient = parse_component("MI^A", alpha)
+    assert not transient.stable
+    assert transient.target == "I" and transient.pending == {"A"}
+    assert parse_component("MZ^A", alpha) is None  # unknown letter
+    assert parse_component("MI^", alpha) is None  # nothing pending
+    assert parse_component("MI^X", alpha) is None  # unknown message
+
+
+# ---------------------------------------------------------------------------
+# Introspection hooks the passes rely on.
+# ---------------------------------------------------------------------------
+
+def test_compound_introspection_hooks():
+    compound = generate("MESI", "CXL")
+    assert compound.request_classes() == ("read", "write")
+    assert compound.snoop_classes() == ("inv", "data")
+    assert len(compound.state_product()) == 12
+    assert compound.attainable_summaries() == ("I", "S", "M")
+    assert compound.legal_pairs() == compound.reachable_pairs()
+    graph = compound.transition_graph()
+    assert ("I", "I", False) in graph
+    assert sum(len(v) for v in graph.values()) == len(compound.transitions)
+
+
+def test_rcc_attainable_summaries_pinned_at_invalid():
+    compound = generate("RCC", "CXL")
+    assert compound.attainable_summaries() == ("I",)
+    assert all(l == "I" for (l, _g) in compound.legal_pairs())

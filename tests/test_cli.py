@@ -59,6 +59,55 @@ def test_list(capsys):
     assert "histogram" in out and "IRIW" in out
 
 
+def test_lint_all_pairs_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "MESI-CXL: clean" in out and "RCC-GMESI: clean" in out
+
+
+def test_lint_strict_self_test(capsys):
+    assert main(["lint", "--strict", "--self-test"]) == 0
+    assert "14/14 rules fire" in capsys.readouterr().out
+
+
+def test_lint_single_pair_json(capsys):
+    import json
+
+    assert main(["lint", "--pair", "mesi:cxl", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["reports"][0]["pair"] == "MESI-CXL"
+
+
+def test_lint_unknown_pair_is_clean_error(capsys):
+    assert main(["lint", "--pair", "MOSI:CXL"]) == 2
+    err = capsys.readouterr().err
+    assert "MOSI" in err and "available" in err and "Traceback" not in err
+
+
+def test_lint_malformed_pair_argument(capsys):
+    assert main(["lint", "--pair", "MESI-CXL"]) == 2
+    assert "--pair must look like" in capsys.readouterr().err
+
+
+def test_lint_rules_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("C001", "R001", "F001", "P001", "N001"):
+        assert rule_id in out
+
+
+def test_slicc_lowercase_names(capsys):
+    assert main(["slicc", "moesi", "cxl"]) == 0
+    assert "machine(MachineType:C3" in capsys.readouterr().out
+
+
+def test_slicc_unknown_name_is_clean_error(capsys):
+    assert main(["slicc", "mosi", "CXL"]) == 2
+    err = capsys.readouterr().err
+    assert "available" in err
+
+
 def test_bad_combo_rejected():
     with pytest.raises(SystemExit):
         main(["workload", "fft", "--combo", "MESI-CXL"])

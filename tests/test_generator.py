@@ -113,6 +113,20 @@ def test_generator_is_memoized():
     assert generate("MESI", "CXL") is generate("MESI", "CXL")
 
 
+def test_generate_resolves_names_case_insensitively():
+    assert generate("mesi", "cxl") is generate("MESI", "CXL")
+    assert generate("Moesi", "Mesi") is generate("MOESI", "MESI")
+
+
+def test_generate_unknown_name_lists_available_specs():
+    from repro.errors import ProtocolError, UnknownProtocolError
+
+    with pytest.raises(UnknownProtocolError, match="MESI, MESIF, MOESI, RCC"):
+        generate("mosi", "CXL")
+    with pytest.raises(ProtocolError, match="CXL, MESI"):
+        generate("MESI", "HYPERTRANSPORT")
+
+
 def test_policy_factory_resolves_variants():
     policy = generated_policy_factory(local_variant("MESI"), global_variant("CXL"))
     assert policy.global_access_for("GetM", "S") == X_STORE
