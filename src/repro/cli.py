@@ -6,8 +6,14 @@ exposes the library's main entry points without writing any code:
 - ``tables``      print Tables I-III.
 - ``table4``      run the litmus matrix (Table IV).
 - ``litmus``      run one litmus test on a chosen configuration.
-- ``workload``    run one kernel and print its statistics.
-- ``fig9/fig10/fig11``  regenerate a figure.
+- ``workload``    run one kernel and print its statistics (``--obs``
+  adds the span/metrics summary).
+- ``trace``       run one kernel fully instrumented (``repro.obs``) and
+  export a Chrome/Perfetto trace (``--chrome-trace``) and/or a JSON
+  metrics dump (``--metrics``); exits 1 if the runtime Rule-II audit
+  observed a nesting violation.
+- ``fig9/fig10/fig11``  regenerate a figure (``--obs`` for per-cell
+  rollups, ``--progress`` for live sweep progress on stderr).
 - ``slicc``       dump the generated compound controller.
 - ``lint``        statically lint the generated protocol artifacts
   (``--strict`` fails on any finding, ``--self-test`` proves every rule
@@ -29,10 +35,13 @@ import sys
 
 
 def _parse_combo(text: str) -> tuple[str, str, str]:
-    parts = text.split("-")
+    # Both L-G-L and L:G:L spellings are accepted (the paper writes
+    # pairings with colons; the figure tables with dashes).
+    parts = text.replace(":", "-").split("-")
     if len(parts) != 3:
         raise argparse.ArgumentTypeError(
-            f"combo must look like MESI-CXL-MOESI, got {text!r}")
+            f"combo must look like MESI-CXL-MOESI (or MESI:CXL:MOESI), "
+            f"got {text!r}")
     return (parts[0], parts[1], parts[2])
 
 
@@ -50,6 +59,24 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
              "cpu count; 1 = serial)")
 
 
+def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="report each sweep cell as it completes (stderr)")
+
+
+def _add_obs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect observability data (spans + metrics) during the run")
+
+
+def _progress_printer(done: int, total: int, key, wall: float) -> None:
+    """Default ``--progress`` sink: one stderr line per finished cell."""
+    print(f"[sweep] cell {done}/{total} done ({key}, {wall:.2f}s)",
+          file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -63,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table4", help="run the Table IV litmus matrix")
     p.add_argument("--runs", type=int, default=None)
     _add_jobs_flag(p)
+    _add_progress_flag(p)
 
     p = sub.add_parser("litmus", help="run one litmus test")
     p.add_argument("name", nargs="?", default=None,
@@ -82,16 +110,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--cores", type=int, default=2,
                    help="cores per cluster")
+    _add_obs_flag(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one kernel with full observability and export traces",
+        description="Run one workload with spans, metrics and the runtime "
+                    "Rule-II audit enabled; optionally export a Chrome/"
+                    "Perfetto trace and a JSON metrics dump.  Exit codes: "
+                    "0 clean, 1 Rule-II violations observed, 2 bad usage.")
+    p.add_argument("name", help="workload name (see `repro list`)")
+    p.add_argument("--combo", type=_parse_combo,
+                   default=("MESI", "CXL", "MESI"),
+                   help="protocol combo, L:G:L or L-G-L "
+                        "(default MESI:CXL:MESI)")
+    p.add_argument("--mcms", type=_parse_mcms, default=("WEAK", "WEAK"))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--cores", type=int, default=2, help="cores per cluster")
+    p.add_argument("--chrome-trace", metavar="OUT.json", default=None,
+                   help="write a Perfetto-loadable trace-event JSON file")
+    p.add_argument("--metrics", metavar="OUT.json", default=None,
+                   help="write the hierarchical metrics dump as JSON")
+    p.add_argument("--addr", type=lambda t: int(t, 0), default=None,
+                   help="also record per-message trace events for this "
+                        "line address (hex ok)")
+    p.add_argument("--sample-engine", action="store_true",
+                   help="profile the event loop (events/sec, time per "
+                        "callback kind); costs wall time")
 
     p = sub.add_parser("fig9", help="regenerate Figure 9")
     p.add_argument("--per-suite", type=int, default=None,
                    help="limit workloads per suite")
     _add_jobs_flag(p)
+    _add_progress_flag(p)
+    _add_obs_flag(p)
     p = sub.add_parser("fig10", help="regenerate Figure 10")
     p.add_argument("--workloads", nargs="*", default=None)
     _add_jobs_flag(p)
+    _add_progress_flag(p)
+    _add_obs_flag(p)
     p = sub.add_parser("fig11", help="regenerate Figure 11")
     _add_jobs_flag(p)
+    _add_progress_flag(p)
+    _add_obs_flag(p)
 
     p = sub.add_parser(
         "lint",
@@ -185,6 +247,67 @@ def _cmd_lint(args) -> int:
     return 1 if (failed or missed_rules) else 0
 
 
+def _print_cell_rollups(result) -> None:
+    """Print one compact ``[obs]`` line per sweep cell rollup, if any."""
+    rollups = getattr(result, "cell_metrics", None)
+    if not rollups:
+        return
+    from repro.obs import compact_obs
+
+    for key in sorted(rollups, key=str):
+        print(f"[obs] {key}: {compact_obs(rollups[key])}")
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: one instrumented run with exporters (exit 0/1/2)."""
+    import json
+
+    from repro.obs import Observability, summarize_obs, write_chrome_trace
+    from repro.sim.config import two_cluster_config
+    from repro.sim.system import build_system
+    from repro.sim.trace import MessageTracer
+    from repro.stats.export import merge_obs
+    from repro.workloads import WORKLOADS
+
+    if args.name not in WORKLOADS:
+        print(f"unknown workload {args.name!r}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    local_a, global_protocol, local_b = args.combo
+    config = two_cluster_config(
+        local_a, global_protocol, local_b,
+        mcm_a=args.mcms[0], mcm_b=args.mcms[1],
+        cores_per_cluster=args.cores, seed=args.seed,
+    )
+    system = build_system(config)
+    obs = Observability(sample_engine=args.sample_engine).attach(system)
+    tracer = None
+    if args.addr is not None:
+        tracer = MessageTracer(system.network, addrs=[args.addr])
+    programs = WORKLOADS[args.name].build(
+        config.total_cores, scale=args.scale, seed=args.seed)
+    result = system.run_threads(programs)
+    merge_obs(result, obs)
+
+    print(f"{args.name} on {'-'.join(args.combo)} ({'/'.join(args.mcms)}):")
+    print(f"  execution time : {result.exec_ns:,.0f} ns")
+    print(f"  ops            : {result.stats.ops} "
+          f"({result.stats.misses} misses)")
+    print(f"  messages       : {result.messages}")
+    print(summarize_obs(result.extra["obs"]))
+    if tracer is not None and tracer.dropped:
+        print(f"  message trace truncated: {tracer.dropped} dropped")
+    if args.chrome_trace:
+        count = write_chrome_trace(args.chrome_trace, obs.recorder, tracer)
+        print(f"wrote {count} trace events to {args.chrome_trace}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(result.extra["obs"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics dump to {args.metrics}")
+    return 1 if result.extra["obs"]["rule2"]["violations"] else 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -203,7 +326,8 @@ def main(argv=None) -> int:
     if command == "table4":
         from repro.harness.experiments import table4
 
-        result = table4(runs=args.runs, jobs=args.jobs)
+        result = table4(runs=args.runs, jobs=args.jobs,
+                        progress=_progress_printer if args.progress else None)
         print(result.format())
         return 0 if result.all_passed() else 1
 
@@ -249,7 +373,7 @@ def main(argv=None) -> int:
             return 2
         result = run_workload(args.name, combo=args.combo, mcms=args.mcms,
                               cores_per_cluster=args.cores,
-                              scale=args.scale, seed=args.seed)
+                              scale=args.scale, seed=args.seed, obs=args.obs)
         print(f"{args.name} on {'-'.join(args.combo)} ({'/'.join(args.mcms)}):")
         print(f"  execution time : {result.exec_ns:,.0f} ns")
         print(f"  ops            : {result.stats.ops} "
@@ -260,26 +384,43 @@ def main(argv=None) -> int:
         for bin_name, _bound in LATENCY_BINS:
             print(f"  {bin_name:>6} miss cycles: "
                   f"{result.stats.miss_cycles(bin_name=bin_name):,}")
+        if args.obs:
+            from repro.obs import summarize_obs
+
+            print(summarize_obs(result.extra["obs"]))
         return 0
+
+    if command == "trace":
+        return _cmd_trace(args)
 
     if command == "fig9":
         from repro.harness.experiments import figure9
 
-        print(figure9(workloads_per_suite=args.per_suite,
-                      jobs=args.jobs).format())
+        result = figure9(
+            workloads_per_suite=args.per_suite, jobs=args.jobs, obs=args.obs,
+            progress=_progress_printer if args.progress else None)
+        print(result.format())
+        _print_cell_rollups(result)
         return 0
 
     if command == "fig10":
         from repro.harness.experiments import figure10
 
-        print(figure10(workloads=args.workloads or None,
-                       jobs=args.jobs).format())
+        result = figure10(
+            workloads=args.workloads or None, jobs=args.jobs, obs=args.obs,
+            progress=_progress_printer if args.progress else None)
+        print(result.format())
+        _print_cell_rollups(result)
         return 0
 
     if command == "fig11":
         from repro.harness.experiments import figure11
 
-        print(figure11(jobs=args.jobs).format())
+        result = figure11(
+            jobs=args.jobs, obs=args.obs,
+            progress=_progress_printer if args.progress else None)
+        print(result.format())
+        _print_cell_rollups(result)
         return 0
 
     if command == "lint":

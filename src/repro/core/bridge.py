@@ -79,6 +79,7 @@ class LocalTxn:
     acks_got: int = 0
     owner_forwarded: bool = False
     was_sharer: bool = False
+    span: object = None  # repro.obs span handle (None when obs is off)
 
 
 @dataclass
@@ -89,10 +90,15 @@ class Recall:
     on_done: Callable[[], None]
     acks_needed: int = 0
     acks_got: int = 0
+    span: object = None  # repro.obs span handle (None when obs is off)
 
 
 class C3Bridge(Node):
     """The C3 coherence controller for one cluster."""
+
+    #: Span recorder (repro.obs.spans.SpanRecorder) or None; class-level
+    #: default keeps every obs-off hook to a single attribute test.
+    obs = None
 
     def __init__(
         self,
@@ -201,6 +207,10 @@ class C3Bridge(Node):
         kind = {m.GETS: "GetS", m.GETM: "GetM",
                 m.RCC_READ: "RCC_READ", m.RCC_WRITE: "RCC_WRITE"}[msg.kind]
         txn = LocalTxn(kind=kind, msg=msg, requester=msg.src)
+        obs = self.obs
+        if obs is not None:
+            txn.span = obs.open_txn(self.node_id, msg.addr, kind, msg.src,
+                                    self.compound_state(msg.addr))
         self.busy[msg.addr] = txn
         self.local_txns += 1
         self._txn_ensure_line(txn)
@@ -263,6 +273,19 @@ class C3Bridge(Node):
             self.global_stores += 1
         else:
             self.global_loads += 1
+        obs = self.obs
+        if obs is not None:
+            gspan = obs.open_global(self.node_id, line.addr, want, parent=txn.span)
+
+            def _granted(txn=txn, gspan=gspan, obs=obs):
+                # Close the crossing span first: the grant marks the end
+                # of the global phase, everything after is local again.
+                if gspan is not None:
+                    obs.close(gspan)
+                self._txn_global_done(txn)
+
+            self.port.request(line.addr, want, _granted)
+            return
         self.port.request(line.addr, want, lambda txn=txn: self._txn_global_done(txn))
 
     def _txn_global_done(self, txn: LocalTxn) -> None:
@@ -548,6 +571,9 @@ class C3Bridge(Node):
             self.send(m.Message(m.FWD_GETS, addr, self.node_id, rec.owner,
                                 extra={"req": self.node_id}))
             recall.acks_needed = 1
+        obs = self.obs
+        if obs is not None:
+            recall.span = obs.open_recall(self, addr, mode)
         self.recalls[addr] = recall
 
     def _recall_response(self, msg: m.Message) -> None:
@@ -583,6 +609,10 @@ class C3Bridge(Node):
             if recall.mode == "inv":
                 rec.clear()
             self.recalls_done += 1
+            if recall.span is not None:
+                # Close before on_done: the messages the continuation
+                # sends upward are legitimate post-recall effects.
+                self.obs.close(recall.span)
             recall.on_done()
             self._drain_pending(msg.addr)
 
@@ -628,7 +658,9 @@ class C3Bridge(Node):
     # Transaction completion and queue draining.
     # ------------------------------------------------------------------
     def _finish_txn(self, addr: int) -> None:
-        del self.busy[addr]
+        txn = self.busy.pop(addr)
+        if txn.span is not None:
+            self.obs.close(txn.span, states=self.compound_state(addr))
         self._drain_pending(addr)
 
     def _drain_pending(self, addr: int) -> None:

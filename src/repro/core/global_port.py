@@ -48,6 +48,7 @@ class PendingWb:
 
     on_done: Callable[[], None]
     held_snoop: m.Message | None = None
+    span: object = None  # repro.obs span handle (None when obs is off)
 
 
 class GlobalPort:
@@ -61,6 +62,7 @@ class GlobalPort:
         self.wb: dict[int, PendingWb] = {}
         self.snoop_q: dict[int, deque] = {}
         self.active_snoop: dict[int, m.Message] = {}
+        self.snoop_spans: dict[int, object] = {}  # repro.obs handles
         # Stats.
         self.requests = 0
         self.writebacks = 0
@@ -97,6 +99,28 @@ class GlobalPort:
 
     def _line(self, addr: int):
         return self.bridge.cache.peek(addr)
+
+    def _open_snoop_span(self, msg: m.Message) -> None:
+        # Opened *before* the nested recall starts so the recall span
+        # parents under it (the Rule-II nesting the audit checks).
+        obs = self.bridge.obs
+        if obs is not None:
+            span = obs.open_snoop(self.bridge.node_id, msg.addr, msg.kind)
+            if span is not None:
+                self.snoop_spans[msg.addr] = span
+
+    def _open_wb_span(self, addr: int):
+        obs = self.bridge.obs
+        if obs is not None:
+            return obs.open_wb(self.bridge.node_id, addr)
+        return None
+
+    def _snoop_finish(self, addr: int) -> None:
+        del self.active_snoop[addr]
+        span = self.snoop_spans.pop(addr, None)
+        if span is not None:
+            self.bridge.obs.close(span)
+        self.bridge._drain_pending(addr)
 
     def _process_snoop(self, msg: m.Message) -> None:
         raise NotImplementedError
@@ -135,7 +159,7 @@ class CxlPort(GlobalPort):
             on_done()  # clean: silent drop; DCOH tolerates RspI-on-absent
             return
         self.writebacks += 1
-        self.wb[addr] = PendingWb(on_done=on_done)
+        self.wb[addr] = PendingWb(on_done=on_done, span=self._open_wb_span(addr))
         self._send(m.MEM_WR, addr, meta="I" if drop else "S", data=line.data)
 
     # -- message handling ---------------------------------------------------
@@ -171,6 +195,8 @@ class CxlPort(GlobalPort):
         record = self.wb.pop(msg.addr, None)
         if record is None:
             raise ProtocolError(f"{self.bridge.node_id}: Cmp with no writeback: {msg}")
+        if record.span is not None:
+            self.bridge.obs.close(record.span)
         record.on_done()
         if record.held_snoop is not None:
             # The WB raced a snoop (Fig. 2 eviction race): the line is
@@ -243,6 +269,7 @@ class CxlPort(GlobalPort):
     def _process_snoop(self, msg: m.Message) -> None:
         addr = msg.addr
         self.active_snoop[addr] = msg
+        self._open_snoop_span(msg)
         mode = "inv" if msg.kind == m.BI_SNP_INV else "data"
         self.bridge.recall_local(addr, mode, lambda: self._snoop_recalled(msg))
 
@@ -252,7 +279,8 @@ class CxlPort(GlobalPort):
         if msg.kind == m.BI_SNP_INV:
             if line is not None and line.dirty:
                 # Full CXL WB sequence nested inside the snoop (Fig. 2).
-                self.wb[addr] = PendingWb(on_done=lambda: self._snoop_inv_done(addr))
+                self.wb[addr] = PendingWb(on_done=lambda: self._snoop_inv_done(addr),
+                                          span=self._open_wb_span(addr))
                 self.writebacks += 1
                 self._send(m.MEM_WR, addr, meta="I", data=line.data)
                 return
@@ -262,7 +290,8 @@ class CxlPort(GlobalPort):
                 self._send(m.BI_RSP_I, addr)
                 self._snoop_finish(addr)
             elif line.dirty:
-                self.wb[addr] = PendingWb(on_done=lambda: self._snoop_data_done(addr))
+                self.wb[addr] = PendingWb(on_done=lambda: self._snoop_data_done(addr),
+                                          span=self._open_wb_span(addr))
                 self.writebacks += 1
                 self._send(m.MEM_WR, addr, meta="S", data=line.data)
             else:
@@ -281,10 +310,6 @@ class CxlPort(GlobalPort):
             line.dirty = False
         self._send(m.BI_RSP_S, addr)
         self._snoop_finish(addr)
-
-    def _snoop_finish(self, addr: int) -> None:
-        del self.active_snoop[addr]
-        self.bridge._drain_pending(addr)
 
 
 class MesiPort(GlobalPort):
@@ -307,7 +332,7 @@ class MesiPort(GlobalPort):
         # sharer in an ack count the winner then waits on while the
         # stale sharer waits on the winner's data.)
         self.writebacks += 1
-        self.wb[addr] = PendingWb(on_done=on_done)
+        self.wb[addr] = PendingWb(on_done=on_done, span=self._open_wb_span(addr))
         if line.dirty:
             self._send(m.PUTM, addr, data=line.data)
         elif line.state == "E":
@@ -435,6 +460,7 @@ class MesiPort(GlobalPort):
     def _process_snoop(self, msg: m.Message) -> None:
         addr = msg.addr
         self.active_snoop[addr] = msg
+        self._open_snoop_span(msg)
         if msg.kind == m.INV:
             self.bridge.recall_local(addr, "inv", lambda: self._inv_recalled(msg))
         elif msg.kind == m.FWD_GETM:
@@ -477,8 +503,6 @@ class MesiPort(GlobalPort):
         record = self.wb.pop(msg.addr, None)
         if record is None:
             raise ProtocolError(f"{self.bridge.node_id}: stray Put-Ack: {msg}")
+        if record.span is not None:
+            self.bridge.obs.close(record.span)
         record.on_done()
-
-    def _snoop_finish(self, addr: int) -> None:
-        del self.active_snoop[addr]
-        self.bridge._drain_pending(addr)

@@ -23,10 +23,11 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.generator import warm_fsm_cache
-from repro.harness.sweep import SweepCell, SweepRunner
+from repro.harness.sweep import CellOutput, SweepCell, SweepRunner, split_metrics
 from repro.sim.config import two_cluster_config
 from repro.sim.system import build_system
 from repro.stats.collectors import LATENCY_BINS, RunResult
+from repro.stats.export import merge_obs
 from repro.verify.litmus import TABLE4_TESTS
 from repro.verify.runner import run_litmus
 from repro.workloads import WORKLOADS, workload_names
@@ -83,8 +84,15 @@ def run_workload(
     cores_per_cluster: int = 2,
     scale: float = 1.0,
     seed: int = 1,
+    obs=False,
 ) -> RunResult:
-    """Run one kernel on a two-cluster system and return its stats."""
+    """Run one kernel on a two-cluster system and return its stats.
+
+    ``obs`` turns observability on for the run: ``True`` attaches a
+    default :class:`repro.obs.Observability` (spans + metrics), or pass
+    a pre-configured instance.  The finalized dump lands in
+    ``result.extra["obs"]``.
+    """
     local_a, global_protocol, local_b = combo
     config = two_cluster_config(
         local_a, global_protocol, local_b,
@@ -92,9 +100,17 @@ def run_workload(
         cores_per_cluster=cores_per_cluster, seed=seed,
     )
     system = build_system(config)
+    observability = None
+    if obs:
+        from repro.obs import Observability
+
+        observability = obs if isinstance(obs, Observability) else Observability()
+        observability.attach(system)
     threads = config.total_cores
     programs = WORKLOADS[name].build(threads, scale=scale, seed=seed)
     result = system.run_threads(programs)
+    if observability is not None:
+        merge_obs(result, observability)
     result.extra["workload"] = name
     result.extra["combo"] = combo_name(combo)
     result.extra["conflicts"] = sum(c.bridge.port.conflicts
@@ -118,6 +134,18 @@ def _workload_stats(**kwargs):
     return run_workload(**kwargs).stats
 
 
+def _workload_time_obs(**kwargs) -> CellOutput:
+    """Sweep cell: execution time plus the per-cell obs rollup."""
+    result = run_workload(obs=True, **kwargs)
+    return CellOutput(result.exec_time, result.extra["obs"])
+
+
+def _workload_stats_obs(**kwargs) -> CellOutput:
+    """Sweep cell: OpStats plus the per-cell obs rollup."""
+    result = run_workload(obs=True, **kwargs)
+    return CellOutput(result.stats, result.extra["obs"])
+
+
 def _fsm_pairs(combos) -> tuple:
     """Distinct (local, global) generator pairs a set of combos needs."""
     return tuple(sorted({
@@ -127,10 +155,11 @@ def _fsm_pairs(combos) -> tuple:
     }))
 
 
-def _sweep(cells, combos, jobs: int | None) -> dict:
+def _sweep(cells, combos, jobs: int | None, progress=None) -> dict:
     """Run figure cells through a SweepRunner warmed for ``combos``."""
     runner = SweepRunner(
         jobs=jobs, initializer=warm_fsm_cache, initargs=(_fsm_pairs(combos),),
+        progress=progress,
     )
     return runner.map(cells)
 
@@ -144,6 +173,8 @@ class Figure10Result:
     workloads: list[str]
     combos: tuple
     times: dict  # (workload, combo name) -> ticks
+    #: cell key -> per-cell obs rollup (empty unless obs=True)
+    cell_metrics: dict = field(default_factory=dict)
 
     def normalized(self, workload: str, combo) -> float:
         """Execution time relative to the first (baseline) combo."""
@@ -174,20 +205,23 @@ class Figure10Result:
 
 def figure10(workloads=None, cores_per_cluster=2, scale=None,
              seeds=(1, 2, 3), combos=FIG10_COMBOS,
-             jobs: int | None = None) -> Figure10Result:
+             jobs: int | None = None, obs: bool = False,
+             progress=None) -> Figure10Result:
     """Regenerate Fig. 10: protocol combinations, normalized time.
 
     Each (workload, combo, seed) cell is an independent simulation;
     they are fanned out over ``jobs`` worker processes and reduced by
     seed-geomean afterwards, so the result is identical for any
-    ``jobs``.
+    ``jobs``.  ``obs=True`` collects a per-cell observability rollup
+    into ``result.cell_metrics``; ``progress`` is forwarded to the
+    sweep runner (see :class:`repro.harness.sweep.SweepRunner`).
     """
     workloads = list(workloads or workload_names())
     scale = default_scale() if scale is None else scale
     cells = [
         SweepCell(
             key=(workload, combo_name(combo), seed),
-            fn=_workload_time,
+            fn=_workload_time_obs if obs else _workload_time,
             kwargs=dict(name=workload, combo=combo, mcms=("WEAK", "WEAK"),
                         cores_per_cluster=cores_per_cluster,
                         scale=scale, seed=seed),
@@ -196,14 +230,14 @@ def figure10(workloads=None, cores_per_cluster=2, scale=None,
         for combo in combos
         for seed in seeds
     ]
-    runs = _sweep(cells, combos, jobs)
+    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
     times = {
         (workload, combo_name(combo)): geomean(
             runs[(workload, combo_name(combo), seed)] for seed in seeds)
         for workload in workloads
         for combo in combos
     }
-    return Figure10Result(workloads, tuple(combos), times)
+    return Figure10Result(workloads, tuple(combos), times, cell_metrics=rollups)
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +250,8 @@ class Figure9Result:
     suites: tuple
     #: (combo name, mcm label, suite) -> geomean exec time
     times: dict
+    #: cell key -> per-cell obs rollup (empty unless obs=True)
+    cell_metrics: dict = field(default_factory=dict)
 
     def normalized(self, combo, mcm_label, suite) -> float:
         """Suite mean relative to the all-ARM configuration."""
@@ -240,7 +276,8 @@ class Figure9Result:
 
 def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
             combos=(("MESI", "CXL", "MESI"), ("MESI", "CXL", "MOESI")),
-            jobs: int | None = None) -> Figure9Result:
+            jobs: int | None = None, obs: bool = False,
+            progress=None) -> Figure9Result:
     """Regenerate Fig. 9: per-suite MCM-combination means.
 
     Every (combo, suite, MCM label, workload, seed) cell runs
@@ -258,7 +295,7 @@ def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
     cells = [
         SweepCell(
             key=(combo_name(combo), label, suite, name, run_seed),
-            fn=_workload_time,
+            fn=_workload_time_obs if obs else _workload_time,
             kwargs=dict(name=name, combo=combo, mcms=mcms,
                         cores_per_cluster=cores_per_cluster,
                         scale=scale, seed=run_seed),
@@ -269,7 +306,7 @@ def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
         for name in suite_names[suite]
         for run_seed in (1, 2)
     ]
-    runs = _sweep(cells, combos, jobs)
+    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
     times = {
         (combo_name(combo), label, suite): geomean(
             runs[(combo_name(combo), label, suite, name, run_seed)]
@@ -279,7 +316,7 @@ def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
         for suite in suites
         for label, _mcms in FIG9_MCMS
     }
-    return Figure9Result(combos, suites, times)
+    return Figure9Result(combos, suites, times, cell_metrics=rollups)
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +329,8 @@ class Figure11Result:
     #: (workload, system label) -> OpStats
     stats: dict
     systems: tuple = ("MESI-MESI-MESI", "MESI-CXL-MESI")
+    #: cell key -> per-cell obs rollup (empty unless obs=True)
+    cell_metrics: dict = field(default_factory=dict)
 
     def miss_cycles(self, workload, system, group=None, bin_name=None) -> int:
         """Miss ticks for one workload/system, optionally filtered."""
@@ -336,14 +375,15 @@ class Figure11Result:
 
 
 def figure11(workloads=FIG11_WORKLOADS, cores_per_cluster=2, scale=None,
-             seed=1, jobs: int | None = None) -> Figure11Result:
+             seed=1, jobs: int | None = None, obs: bool = False,
+             progress=None) -> Figure11Result:
     """Regenerate Fig. 11: miss-cycle latency breakdown."""
     scale = default_scale() if scale is None else scale
     combos = (("MESI", "MESI", "MESI"), ("MESI", "CXL", "MESI"))
     cells = [
         SweepCell(
             key=(workload, combo_name(combo)),
-            fn=_workload_stats,
+            fn=_workload_stats_obs if obs else _workload_stats,
             kwargs=dict(name=workload, combo=combo, mcms=("WEAK", "WEAK"),
                         cores_per_cluster=cores_per_cluster,
                         scale=scale, seed=seed),
@@ -351,8 +391,8 @@ def figure11(workloads=FIG11_WORKLOADS, cores_per_cluster=2, scale=None,
         for workload in workloads
         for combo in combos
     ]
-    stats = _sweep(cells, combos, jobs)
-    return Figure11Result(tuple(workloads), stats)
+    stats, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
+    return Figure11Result(tuple(workloads), stats, cell_metrics=rollups)
 
 
 # ---------------------------------------------------------------------------
@@ -396,7 +436,7 @@ class Table4Result:
 
 
 def table4(runs: int | None = None, seed: int = 0,
-           jobs: int | None = None) -> Table4Result:
+           jobs: int | None = None, progress=None) -> Table4Result:
     """Regenerate Table IV: the litmus matrix.
 
     Each of the 7 tests x 2 combos x 3 MCM pairings is an independent
@@ -414,4 +454,5 @@ def table4(runs: int | None = None, seed: int = 0,
         for combo in TABLE4_PROTOCOLS
         for label, mcms in TABLE4_MCMS
     ]
-    return Table4Result(results=_sweep(cells, TABLE4_PROTOCOLS, jobs))
+    return Table4Result(results=_sweep(cells, TABLE4_PROTOCOLS, jobs,
+                                       progress))

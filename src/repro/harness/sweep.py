@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
@@ -76,10 +77,47 @@ class SweepCell:
     kwargs: Mapping[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class CellOutput:
+    """A sweep-cell return value paired with its per-cell metric rollup.
+
+    Cell functions that gather observability data return one of these;
+    :func:`split_metrics` separates the plain values (what the figure
+    machinery consumes) from the rollups (what ``--obs`` reports).
+    """
+
+    value: Any
+    metrics: Any = None
+
+
+def split_metrics(results: Mapping[Hashable, Any]) -> tuple[dict, dict]:
+    """Split a sweep result map into ``(values, rollups)``.
+
+    Plain results pass through unchanged with no rollup entry;
+    :class:`CellOutput` results are unpacked.  The values dict always
+    has the same keys as the input, so callers are agnostic to whether
+    the sweep ran with observability on.
+    """
+    values: dict = {}
+    rollups: dict = {}
+    for key, result in results.items():
+        if isinstance(result, CellOutput):
+            values[key] = result.value
+            if result.metrics is not None:
+                rollups[key] = result.metrics
+        else:
+            values[key] = result
+    return values, rollups
+
+
 def _run_cell(payload):
-    """Pool worker entry: run one cell, tagging the result with its index."""
+    """Pool worker entry: run one cell, tagging the result with its
+    index and wall time (measured in the worker, so the parent's
+    progress report shows real per-cell cost, not queueing delay)."""
     index, fn, kwargs = payload
-    return index, fn(**kwargs)
+    t0 = time.perf_counter()
+    result = fn(**kwargs)
+    return index, time.perf_counter() - t0, result
 
 
 class SweepRunner:
@@ -97,6 +135,7 @@ class SweepRunner:
         start_method: str | None = None,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        progress: Callable[[int, int, Hashable, float], None] | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.start_method = (
@@ -106,6 +145,9 @@ class SweepRunner:
         )
         self.initializer = initializer
         self.initargs = initargs
+        #: Optional callback ``progress(done, total, key, wall_seconds)``
+        #: fired as each cell completes (in completion order).
+        self.progress = progress
         #: "serial" or "parallel" after the last map() call.
         self.last_mode: str | None = None
         #: The exception that forced a fallback to serial, if any.
@@ -154,12 +196,23 @@ class SweepRunner:
         self.last_mode = "serial"
         if self.initializer is not None:
             self.initializer(*self.initargs)
-        return {cell.key: cell.fn(**cell.kwargs) for cell in cells}
+        progress = self.progress
+        results: dict = {}
+        total = len(cells)
+        for done, cell in enumerate(cells, start=1):
+            t0 = time.perf_counter()
+            results[cell.key] = cell.fn(**cell.kwargs)
+            if progress is not None:
+                progress(done, total, cell.key, time.perf_counter() - t0)
+        return results
 
     def _map_parallel(self, cells, payloads) -> dict:
         import multiprocessing
 
         context = multiprocessing.get_context(self.start_method)
+        progress = self.progress
+        total = len(cells)
+        done = 0
         results: list = [None] * len(cells)
         filled = [False] * len(cells)
         with context.Pool(
@@ -167,9 +220,12 @@ class SweepRunner:
             initializer=self.initializer,
             initargs=self.initargs,
         ) as pool:
-            for index, value in pool.imap_unordered(_run_cell, payloads):
+            for index, wall, value in pool.imap_unordered(_run_cell, payloads):
                 results[index] = value
                 filled[index] = True
+                done += 1
+                if progress is not None:
+                    progress(done, total, cells[index].key, wall)
         if not all(filled):  # pragma: no cover - pool never drops tasks
             raise OSError("process pool dropped sweep cells")
         self.last_mode = "parallel"

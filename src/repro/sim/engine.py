@@ -12,10 +12,19 @@ nanosecond-scale link latencies (see :class:`repro.sim.config.SystemConfig`).
 from __future__ import annotations
 
 import heapq
+import time as _time_mod
 from typing import Any, Callable
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+
+def _callback_name(callback: Callable) -> str:
+    """Stable short name for a scheduled callback (digests, profiles)."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = getattr(type(callback), "__qualname__", repr(callback))
+    return name
 
 
 class Event:
@@ -51,6 +60,10 @@ class Engine:
         self._seq: int = 0
         self.events_executed: int = 0
         self._running = False
+        # Observability attachments (repro.obs); None keeps the hot run
+        # loop untouched -- run() checks them exactly once per call.
+        self.sampler = None
+        self.span_recorder = None
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ticks from now.
@@ -93,6 +106,8 @@ class Engine:
         ``benchmarks/test_simulator_throughput.py`` and
         ``docs/PERFORMANCE.md``).
         """
+        if self.sampler is not None:
+            return self._run_sampled(until, max_events)
         self._running = True
         executed = 0
         queue = self._queue
@@ -103,12 +118,7 @@ class Engine:
                     self.now = until
                     break
                 if max_events is not None and executed >= max_events:
-                    raise SimulationLimitError(
-                        f"exceeded {max_events} events at t={self.now} "
-                        f"({self.pending()} pending, "
-                        f"{self.pending_live()} live); "
-                        "likely livelock or deadlock retry storm"
-                    )
+                    raise SimulationLimitError(self.stall_digest(max_events))
                 time, _seq, event = heappop(queue)
                 if event.cancelled:
                     continue
@@ -119,6 +129,76 @@ class Engine:
             self._running = False
             self.events_executed += executed
         return self.now
+
+    def _run_sampled(self, until: int | None, max_events: int | None) -> int:
+        """Instrumented run loop used when an ``EngineSampler`` is attached.
+
+        Times every callback with ``perf_counter`` and subsamples queue
+        depth every ``sampler.sample_every`` events.  Kept separate from
+        :meth:`run` so the uninstrumented loop stays allocation-free.
+        """
+        sampler = self.sampler
+        perf = _time_mod.perf_counter
+        every = sampler.sample_every
+        self._running = True
+        executed = 0
+        queue = self._queue
+        heappop = _heappop
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationLimitError(self.stall_digest(max_events))
+                time, _seq, event = heappop(queue)
+                if event.cancelled:
+                    continue
+                self.now = time
+                t0 = perf()
+                event.callback(*event.args)
+                elapsed = perf() - t0
+                depth = len(queue) if executed % every == 0 else None
+                sampler.record(_callback_name(event.callback), elapsed, depth)
+                executed += 1
+        finally:
+            self._running = False
+            self.events_executed += executed
+        return self.now
+
+    def stall_digest(self, max_events: int | None = None) -> str:
+        """Multi-line diagnosis of a stalled/livelocked run.
+
+        The first line keeps the historical watchdog format (event
+        budget, time, queue depth); the rest breaks the live queue down
+        by callback, names the oldest queued event, and -- when a span
+        recorder is attached -- lists the oldest in-flight spans, which
+        usually point straight at the stuck transaction.
+        """
+        lines = [
+            f"exceeded {max_events} events at t={self.now} "
+            f"({self.pending()} pending, {self.pending_live()} live); "
+            "likely livelock or deadlock retry storm"
+        ]
+        live = [(time, seq, event) for time, seq, event in self._queue
+                if not event.cancelled]
+        if live:
+            counts: dict[str, int] = {}
+            for _time, _seq, event in live:
+                name = _callback_name(event.callback)
+                counts[name] = counts.get(name, 0) + 1
+            top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+            lines.append("top pending callbacks: "
+                         + ", ".join(f"{name} x{count}" for name, count in top))
+            oldest = min(live, key=lambda item: (item[0], item[1]))
+            age = self.now - oldest[0]
+            lines.append(f"oldest queued: {_callback_name(oldest[2].callback)} "
+                         f"scheduled for t={oldest[0]} (age {max(age, 0)} ticks)")
+        if self.span_recorder is not None:
+            stale = self.span_recorder.oldest_open(3)
+            if stale:
+                lines.append("oldest in-flight spans: " + "; ".join(stale))
+        return "\n".join(lines)
 
 
 class SimulationLimitError(RuntimeError):

@@ -70,6 +70,10 @@ class Mshr:
 class L1Controller(Node):
     """MESI-family private cache controller for one core."""
 
+    #: Span recorder (repro.obs.spans.SpanRecorder) or None; class-level
+    #: default keeps the obs-off hot path to a single attribute test.
+    obs = None
+
     def __init__(
         self,
         engine: Engine,
@@ -111,6 +115,12 @@ class L1Controller(Node):
                              callback, self.engine.now)
 
     def _start(self, kind, addr, value, callback, t0) -> None:
+        obs = self.obs
+        if (obs is not None and not kind.startswith("PREFETCH")
+                and not getattr(callback, "_obs_close", False)):
+            # Wrap once: room-waiter retries re-enter _start with the
+            # already-wrapped callback (tagged _obs_close).
+            callback = obs.op_wrapper(self.node_id, kind, addr, callback, t0)
         if addr in self.mshrs:
             self.mshrs[addr].ops.append((kind, value, callback, t0))
             return
@@ -502,6 +512,10 @@ class RccL1(Node):
     self-invalidation on acquire.  The C3 cluster cache is the local
     coherence point."""
 
+    #: Span recorder (repro.obs.spans.SpanRecorder) or None, as on
+    #: :class:`L1Controller`.
+    obs = None
+
     def __init__(
         self,
         engine: Engine,
@@ -537,6 +551,9 @@ class RccL1(Node):
         if kind.startswith("PREFETCH"):
             callback(None)  # write-through cache: prefetch is moot
             return
+        obs = self.obs
+        if obs is not None and not getattr(callback, "_obs_close", False):
+            callback = obs.op_wrapper(self.node_id, kind, addr, callback, t0)
         if kind == "LOAD_ACQ":
             self._self_invalidate()
             kind = "LOAD"

@@ -94,6 +94,8 @@ class Network:
         self._last_arrival: dict[tuple[str, str, int], int] = {}
         self._link_busy_until: dict[tuple[str, str], int] = {}
         self.stats = NetworkStats()
+        # Span recorder (repro.obs) or None; send() pays one test.
+        self.obs = None
 
     def register(self, node: Node) -> None:
         """Register an endpoint (called by Node.__init__)."""
@@ -150,6 +152,9 @@ class Network:
             arrival = floor
         last_arrival[channel] = arrival
         self.stats.record(msg)
+        obs = self.obs
+        if obs is not None:
+            obs.on_message(msg, arrival - now)
         engine.schedule(arrival - now, self.nodes[dst].handle_message, msg)
 
     def deliver_local(self, msg: Message, delay: int = 0) -> None:

@@ -46,16 +46,25 @@ class MessageTracer:
         self.kinds = set(kinds) if kinds is not None else None
         self.capacity = capacity
         self.entries: list[TraceEntry] = []
+        self.dropped = 0  # matching messages lost to the capacity cap
         self._original_send = network.send
         network.send = self._send
 
     def _send(self, msg: Message) -> None:
-        if len(self.entries) < self.capacity and self._match(msg):
-            self.entries.append(TraceEntry(
-                self.network.engine.now, msg.kind, msg.addr,
-                msg.src, msg.dst, msg.meta, msg.data,
-            ))
+        if self._match(msg):
+            if len(self.entries) < self.capacity:
+                self.entries.append(TraceEntry(
+                    self.network.engine.now, msg.kind, msg.addr,
+                    msg.src, msg.dst, msg.meta, msg.data,
+                ))
+            else:
+                self.dropped += 1
         self._original_send(msg)
+
+    def _truncation_note(self) -> str:
+        """Warning line appended to renderings when entries were dropped."""
+        return (f"[truncated: {self.dropped} matching messages dropped "
+                f"at capacity {self.capacity}]")
 
     def _match(self, msg: Message) -> bool:
         if self.addrs is not None and msg.addr not in self.addrs:
@@ -81,6 +90,8 @@ class MessageTracer:
                 f"t={ns:10.1f}ns  {entry.src:>8} -> {entry.dst:<8} "
                 f"{entry.describe()}  (line 0x{entry.addr:x})"
             )
+        if self.dropped:
+            lines.append(self._truncation_note())
         return "\n".join(lines)
 
     def lanes(self, addr: int, agents: list[str] | None = None,
@@ -118,6 +129,8 @@ class MessageTracer:
                     cells.append(" " * width)
             row = f"{entry.time / TICKS_PER_NS:<12.1f}" + "".join(cells)
             lines.append(row.rstrip() + f"   {entry.describe()}")
+        if self.dropped:
+            lines.append(self._truncation_note())
         return "\n".join(lines)
 
     def count(self, kind: str | None = None, addr: int | None = None) -> int:

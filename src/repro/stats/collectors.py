@@ -106,6 +106,24 @@ class OpStats:
         """Misses per op (the calibration knob standing in for MPKI)."""
         return self.misses / self.ops if self.ops else 0.0
 
+    def register_metrics(self, registry, path: str) -> None:
+        """Publish these counts into a `repro.obs` metrics registry.
+
+        ``registry`` is duck-typed (any object with ``counter(path,
+        unit)``) so the stats layer keeps no import dependency on
+        :mod:`repro.obs`.  This is how ``OpStats`` *plugs into* the
+        hierarchical registry instead of being replaced by it.
+        """
+        registry.counter(f"{path}.ops", unit="ops").add(self.ops)
+        registry.counter(f"{path}.hits", unit="ops").add(self.hits)
+        registry.counter(f"{path}.misses", unit="ops").add(self.misses)
+        registry.counter(f"{path}.total_latency",
+                         unit="ticks").add(self.total_latency)
+        for (group, bin_name), (count, ticks) in sorted(self.miss_bins.items()):
+            base = f"{path}.miss.{group}.{bin_name}"
+            registry.counter(f"{base}.count", unit="ops").add(count)
+            registry.counter(f"{base}.ticks", unit="ticks").add(ticks)
+
 
 @dataclass
 class RunResult:

@@ -38,6 +38,21 @@ def run_result_to_dict(result: RunResult) -> dict:
     }
 
 
+def merge_obs(result: RunResult, obs) -> RunResult:
+    """Merge an observability dump into ``result.extra["obs"]``.
+
+    ``obs`` is either an :class:`repro.obs.Observability` (its
+    ``finalize()`` is called) or an already-finalized dump dict.  The
+    dump is round-tripped through :func:`json.dumps` first so the
+    contract that ``RunResult.extra`` stays JSON-serializable is
+    enforced at merge time, not discovered at export time.
+    """
+    dump = obs.finalize() if hasattr(obs, "finalize") else obs
+    json.dumps(dump)  # serializability contract -- raises on violation
+    result.extra["obs"] = dump
+    return result
+
+
 def figure_to_dict(figure) -> dict:
     """Serialize any harness figure/table result object.
 

@@ -113,6 +113,65 @@ def test_bad_combo_rejected():
         main(["workload", "fft", "--combo", "MESI-CXL"])
 
 
+def test_colon_combo_accepted(capsys):
+    assert main(["workload", "vips", "--combo", "MESI:MESI:MESI",
+                 "--scale", "0.2"]) == 0
+    assert "MESI-MESI-MESI" in capsys.readouterr().out
+
+
+def test_workload_obs_flag_prints_summary(capsys):
+    assert main(["workload", "fft", "--scale", "0.3", "--obs"]) == 0
+    out = capsys.readouterr().out
+    assert "observability summary" in out
+    assert "rule-II audit: clean" in out
+    assert "latency attribution" in out
+
+
+def test_trace_command_writes_valid_exports(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["trace", "fft", "--combo", "MESI:CXL:MESI",
+                 "--scale", "0.3", "--addr", "0x0",
+                 "--chrome-trace", str(trace_path),
+                 "--metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "observability summary" in out
+    assert "wrote" in out
+    trace = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    assert trace["traceEvents"]
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["rule2"]["violations"] == 0
+    assert any(path.startswith("system.cluster0.l1_0")
+               for path in metrics["metrics"])
+
+
+def test_trace_sample_engine_profile(capsys):
+    assert main(["trace", "fft", "--scale", "0.3", "--sample-engine"]) == 0
+    out = capsys.readouterr().out
+    assert "events/sec" in out
+
+
+def test_trace_unknown_workload(capsys):
+    assert main(["trace", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_fig10_progress_and_obs_rollups(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+    assert main(["fig10", "--workloads", "vips", "--jobs", "1",
+                 "--progress", "--obs"]) == 0
+    captured = capsys.readouterr()
+    assert "[sweep] cell 1/" in captured.err
+    assert "done (" in captured.err
+    assert "[obs]" in captured.out
+    assert "rule2=clean" in captured.out
+
+
 def test_litmus_from_file(tmp_path, capsys):
     path = tmp_path / "mp.litmus"
     path.write_text(

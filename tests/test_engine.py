@@ -98,6 +98,36 @@ def test_watchdog_message_reports_pending_queue():
     assert "t=" in message
 
 
+def test_stall_digest_breaks_down_pending_callbacks():
+    engine = Engine()
+
+    def spin():
+        engine.schedule(1, spin)
+
+    def other():
+        pass
+
+    engine.schedule(0, spin)
+    engine.schedule(9_000, other)
+    with pytest.raises(SimulationLimitError) as exc:
+        engine.run(max_events=40)
+    message = str(exc.value)
+    # The richer digest names what is queued and the oldest entry.
+    assert "top pending callbacks:" in message
+    assert "spin x1" in message
+    assert "oldest queued:" in message
+    assert "age" in message
+
+
+def test_stall_digest_without_watchdog_context():
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    digest = engine.stall_digest()
+    assert "2 pending" not in digest  # one event queued
+    assert "1 pending, 1 live" in digest
+    assert "top pending callbacks:" in digest
+
+
 def test_pending_live_excludes_cancelled():
     engine = Engine()
     keep = engine.schedule(5, lambda: None)

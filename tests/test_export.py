@@ -2,8 +2,17 @@
 
 import json
 
+import pytest
+
 from repro.harness.experiments import figure10, figure11, run_workload
-from repro.stats.export import dump_json, figure_to_dict, run_result_to_dict
+from repro.stats.collectors import OpStats, RunResult
+from repro.stats.export import (
+    dump_json,
+    figure_to_dict,
+    merge_obs,
+    opstats_to_dict,
+    run_result_to_dict,
+)
 
 
 def test_run_result_round_trips_through_json(tmp_path):
@@ -46,7 +55,69 @@ def test_table4_export():
 
 
 def test_unknown_object_rejected():
-    import pytest
-
     with pytest.raises(TypeError):
         figure_to_dict(object())
+
+
+# ---------------------------------------------------------------------------
+# Golden round trips: hand-built collectors -> exact exported dicts.
+# ---------------------------------------------------------------------------
+
+def _golden_stats() -> OpStats:
+    stats = OpStats()
+    stats.record_op("LOAD", 50_000, hit=True)          # 50 ns hit
+    stats.record_op("STORE", 120_000, hit=False)       # 120 ns: medium
+    stats.record_op("RMW", 600_000, hit=False)         # 600 ns: high
+    return stats
+
+
+def test_opstats_to_dict_golden():
+    assert opstats_to_dict(_golden_stats()) == {
+        "ops": 3,
+        "hits": 1,
+        "misses": 2,
+        "total_latency_ticks": 770_000,
+        "miss_bins": {
+            "rmw/high": {"count": 1, "ticks": 600_000},
+            "store/medium": {"count": 1, "ticks": 120_000},
+        },
+    }
+
+
+def test_run_result_to_dict_golden():
+    result = RunResult(
+        exec_time=1_000_000,
+        per_core_regs=[{"r0": 7}],
+        stats=_golden_stats(),
+        events=42,
+        messages=9,
+        extra={"workload": "golden"},
+    )
+    data = run_result_to_dict(result)
+    assert data == {
+        "exec_time_ticks": 1_000_000,
+        "exec_ns": 1000.0,
+        "events": 42,
+        "messages": 9,
+        "stats": opstats_to_dict(_golden_stats()),
+        "per_core_regs": [{"r0": 7}],
+        "extra": {"workload": "golden"},
+    }
+    assert json.loads(json.dumps(data)) == data  # round trip is lossless
+
+
+def test_merge_obs_keeps_extra_json_serializable(tmp_path):
+    result = run_workload("fft", scale=0.3, seed=2, obs=True)
+    assert "obs" in result.extra
+    path = tmp_path / "run.json"
+    dump_json(result, path)  # must not raise on the merged extra
+    data = json.loads(path.read_text())
+    assert data["extra"]["obs"]["rule2"]["violations"] == 0
+    assert data["extra"]["obs"]["spans"]["total"] > 0
+
+
+def test_merge_obs_rejects_unserializable_dump():
+    result = RunResult(exec_time=1, per_core_regs=[], stats=OpStats())
+    with pytest.raises(TypeError):
+        merge_obs(result, {"bad": object()})
+    assert "obs" not in result.extra  # contract enforced before mutation

@@ -5,10 +5,12 @@ import pytest
 import repro.core.generator as generator
 from repro.harness.experiments import FIG10_COMBOS, figure10
 from repro.harness.sweep import (
+    CellOutput,
     SweepCell,
     SweepRunner,
     resolve_jobs,
     run_cells,
+    split_metrics,
 )
 from repro.protocols.variants import global_variant, local_variant
 
@@ -79,6 +81,44 @@ def test_resolve_jobs_precedence(monkeypatch):
         resolve_jobs(None)
     with pytest.raises(ValueError, match=">= 1"):
         resolve_jobs(0)
+
+
+# ---------------------------------------------------------------------------
+# Progress reporting and per-cell metric rollups.
+# ---------------------------------------------------------------------------
+
+def test_progress_callback_fires_on_serial_path():
+    seen = []
+    runner = SweepRunner(jobs=1, progress=lambda *a: seen.append(a))
+    runner.map(SweepCell(key=i, fn=_square, kwargs={"x": i}) for i in range(3))
+    assert [(done, total) for done, total, _k, _w in seen] \
+        == [(1, 3), (2, 3), (3, 3)]
+    assert [key for _d, _t, key, _w in seen] == [0, 1, 2]
+    assert all(wall >= 0.0 for _d, _t, _k, wall in seen)
+
+
+def test_progress_callback_fires_on_parallel_path():
+    seen = []
+    runner = SweepRunner(jobs=2, progress=lambda *a: seen.append(a))
+    out = runner.map(SweepCell(key=i, fn=_square, kwargs={"x": i})
+                     for i in range(5))
+    assert runner.last_mode == "parallel"
+    assert out == {i: i * i for i in range(5)}
+    # Completion order is nondeterministic, but every cell reports once
+    # and the done counter is a permutation of 1..N.
+    assert sorted(done for done, _t, _k, _w in seen) == [1, 2, 3, 4, 5]
+    assert sorted(key for _d, _t, key, _w in seen) == [0, 1, 2, 3, 4]
+    assert all(total == 5 for _d, total, _k, _w in seen)
+
+
+def test_split_metrics_unpacks_cell_outputs():
+    values, rollups = split_metrics({
+        "plain": 3,
+        "wrapped": CellOutput(value=7, metrics={"ops": 12}),
+        "no-rollup": CellOutput(value=9),
+    })
+    assert values == {"plain": 3, "wrapped": 7, "no-rollup": 9}
+    assert rollups == {"wrapped": {"ops": 12}}
 
 
 # ---------------------------------------------------------------------------

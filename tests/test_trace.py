@@ -66,6 +66,27 @@ def test_detach_restores_network():
     assert tracer.entries == []
 
 
+def test_capacity_overflow_counts_dropped_and_flags_renders():
+    system = traced_system(seed=4)
+    tracer = MessageTracer(system.network, addrs={0x20}, capacity=5)
+    programs = [ThreadProgram(f"t{i}", [rmw(0x20, 1), fence()]) for i in range(2)]
+    system.run_threads(programs, placement=[0, 1])
+    assert len(tracer.entries) == 5
+    assert tracer.dropped > 0  # overflow is counted, not silent
+    for rendered in (tracer.timeline(addr=0x20), tracer.lanes(0x20)):
+        assert "truncated" in rendered
+        assert str(tracer.dropped) in rendered
+
+
+def test_no_truncation_note_below_capacity():
+    system = traced_system()
+    tracer = MessageTracer(system.network, addrs={0x10})
+    system.run_threads([ThreadProgram("t", [store(0x10, 1)])], placement=[0])
+    assert tracer.dropped == 0
+    assert "truncated" not in tracer.timeline(addr=0x10)
+    assert "truncated" not in tracer.lanes(0x10)
+
+
 def test_conflict_handshake_visible_in_trace():
     found = False
     for seed in range(20):
