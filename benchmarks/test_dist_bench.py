@@ -1,0 +1,125 @@
+"""Distributed-queue overhead: serial vs process pool vs loopback fleet.
+
+Not a paper figure: this keeps the queue backend honest.  It runs a
+16-cell Fig. 9-style grid (2 combos x 2 MCM labels x 2 workloads x
+2 seeds) three ways -- serially, through the 2-worker process pool, and
+through a :class:`QueueBackend` with 2 loopback TCP workers -- asserts
+all three result dicts are byte-identical, and bounds how much the
+queue's framing/handshake overhead may cost over the pool on the same
+box.  A shared on-disk FSM cache (``REPRO_FSM_CACHE``) keeps compound
+synthesis out of the comparison, exactly as a real fleet would share it.
+
+The measured numbers are appended to ``BENCH_dist.json`` at the repo
+root so queue overhead across CI environments accumulates over time.
+"""
+
+import json
+import os
+import pathlib
+import pickle
+import time
+
+import pytest
+
+from repro.core.generator import FSM_CACHE_ENV, clear_fsm_cache, warm_fsm_cache
+from repro.harness.dist.broker import QueueBackend
+from repro.harness.experiments import FIG9_MCMS, run_workload
+from repro.harness.sweep import SweepCell, SweepRunner
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+
+GRID_COMBOS = (("MESI", "CXL", "MESI"), ("MESI", "CXL", "MOESI"))
+GRID_MCMS = FIG9_MCMS[:2]          # ARM, TSO
+GRID_WORKLOADS = ("vips", "histogram")
+GRID_SEEDS = (1, 2)
+GRID_SCALE = 0.4
+
+#: (local, global) generator pairs the grid needs (for cache warming).
+FSM_PAIRS = tuple(sorted({
+    (local, combo[1]) for combo in GRID_COMBOS
+    for local in (combo[0], combo[2])
+}))
+
+
+def _cell_time(**kwargs) -> int:
+    """Module-level cell fn: one workload run reduced to exec time."""
+    return run_workload(**kwargs).exec_time
+
+
+def _grid_cells():
+    return [
+        SweepCell(
+            key=("-".join(combo), label, name, seed),
+            fn=_cell_time,
+            kwargs=dict(name=name, combo=combo, mcms=mcms,
+                        cores_per_cluster=2, scale=GRID_SCALE, seed=seed),
+        )
+        for combo in GRID_COMBOS
+        for label, mcms in GRID_MCMS
+        for name in GRID_WORKLOADS
+        for seed in GRID_SEEDS
+    ]
+
+
+def _timed(backend):
+    runner = SweepRunner(jobs=2, backend=backend,
+                         initializer=warm_fsm_cache, initargs=(FSM_PAIRS,))
+    start = time.perf_counter()
+    results = runner.map(_grid_cells())
+    return time.perf_counter() - start, results
+
+
+@pytest.mark.dist_bench
+def test_queue_overhead_vs_pool_on_16_cell_grid(
+        benchmark, save_result, tmp_path, monkeypatch):
+    monkeypatch.setenv(FSM_CACHE_ENV, str(tmp_path / "fsm"))
+    clear_fsm_cache()
+
+    def run():
+        serial_s, serial = _timed("serial")
+        pool_s, pool = _timed("local")
+        queue_s, queue = _timed(QueueBackend(workers=2, backoff_base=0.01))
+        return serial_s, serial, pool_s, pool, queue_s, queue
+
+    try:
+        serial_s, serial, pool_s, pool, queue_s, queue = benchmark.pedantic(
+            run, rounds=1, iterations=1)
+    finally:
+        clear_fsm_cache()
+
+    # Determinism: all three backends are byte-identical.
+    assert pickle.dumps(serial) == pickle.dumps(pool) == pickle.dumps(queue)
+    assert len(serial) == 16
+
+    # The fleet must never cost more than 2x the pool on the same box:
+    # the TCP framing and handshake are per-cell-cheap, and the real
+    # work (the simulations) dominates even at scale 0.4.
+    ratio_queue_pool = queue_s / pool_s
+    assert ratio_queue_pool <= 2.0, (
+        f"queue:2 took {queue_s:.3f}s vs pool {pool_s:.3f}s "
+        f"({ratio_queue_pool:.2f}x > 2.0x bound)")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "grid_cells": len(serial),
+        "serial_s": round(serial_s, 4),
+        "pool2_s": round(pool_s, 4),
+        "queue2_s": round(queue_s, 4),
+        "ratio_queue_over_pool": round(ratio_queue_pool, 4),
+        "ratio_queue_over_serial": round(queue_s / serial_s, 4),
+    }
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    save_result(
+        "dist_overhead",
+        f"16-cell fig9-style grid: serial {serial_s:.3f}s, pool(2) "
+        f"{pool_s:.3f}s, queue(2) {queue_s:.3f}s "
+        f"({ratio_queue_pool:.2f}x pool, cpu_count={record['cpu_count']})",
+    )

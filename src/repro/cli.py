@@ -59,6 +59,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
              "cpu count; 1 = serial)")
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="execution backend: serial, local, queue, queue:N, "
+             "queue:HOST:PORT or ssh:HOSTS.toml (default: REPRO_BACKEND, "
+             "then the local process pool); see docs/DISTRIBUTED.md")
+
+
 def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
@@ -77,6 +85,33 @@ def _progress_printer(done: int, total: int, key, wall: float) -> None:
           file=sys.stderr)
 
 
+def _dist_event_printer(kind: str, detail: dict) -> None:
+    """``--progress`` sink for queue-backend failure-path events."""
+    info = ", ".join(f"{k}={v}" for k, v in detail.items())
+    print(f"[dist] {kind}" + (f" ({info})" if info else ""), file=sys.stderr)
+
+
+def _resolve_cli_backend(args):
+    """Build the backend for a sweep subcommand.
+
+    Returns the ``--backend`` spec unchanged (or None for the default
+    local pool) -- except when ``--progress`` asks for failure-path
+    reporting on a queue/ssh backend, in which case the instance is
+    constructed here so the ``dist.*`` events stream to stderr.
+    """
+    spec = args.backend
+    if spec is None or not getattr(args, "progress", False):
+        return spec
+    if not isinstance(spec, str) or \
+            spec.split(":", 1)[0].lower() not in ("queue", "ssh"):
+        return spec
+    from repro.harness.dist import resolve_backend
+
+    backend = resolve_backend(spec, jobs=args.jobs)
+    backend.events = _dist_event_printer
+    return backend
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -90,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table4", help="run the Table IV litmus matrix")
     p.add_argument("--runs", type=int, default=None)
     _add_jobs_flag(p)
+    _add_backend_flag(p)
     _add_progress_flag(p)
 
     p = sub.add_parser("litmus", help="run one litmus test")
@@ -143,17 +179,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-suite", type=int, default=None,
                    help="limit workloads per suite")
     _add_jobs_flag(p)
+    _add_backend_flag(p)
     _add_progress_flag(p)
     _add_obs_flag(p)
     p = sub.add_parser("fig10", help="regenerate Figure 10")
     p.add_argument("--workloads", nargs="*", default=None)
     _add_jobs_flag(p)
+    _add_backend_flag(p)
     _add_progress_flag(p)
     _add_obs_flag(p)
     p = sub.add_parser("fig11", help="regenerate Figure 11")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="limit to these workloads (default: the paper's "
+                        "four)")
     _add_jobs_flag(p)
+    _add_backend_flag(p)
     _add_progress_flag(p)
     _add_obs_flag(p)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve sweep cells for a distributed queue broker",
+        description="Connect to a sweep broker (a `--backend queue:...` "
+                    "run) and execute cells until it shuts the fleet "
+                    "down.  Exit codes: 0 normal shutdown, 1 cannot "
+                    "connect, 2 rejected at handshake (source "
+                    "fingerprint mismatch), 3 broker connection lost.")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="broker address to join")
+    p.add_argument("--heartbeat", type=float, default=0.5, metavar="SECONDS",
+                   help="keepalive interval before the broker names one "
+                        "(default 0.5)")
 
     p = sub.add_parser(
         "lint",
@@ -323,10 +379,21 @@ def main(argv=None) -> int:
         print(table3())
         return 0
 
+    if command == "worker":
+        from repro.harness.dist.worker import parse_address, run_worker
+
+        try:
+            address = parse_address(args.connect)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return run_worker(address, heartbeat_interval=args.heartbeat)
+
     if command == "table4":
         from repro.harness.experiments import table4
 
         result = table4(runs=args.runs, jobs=args.jobs,
+                        backend=_resolve_cli_backend(args),
                         progress=_progress_printer if args.progress else None)
         print(result.format())
         return 0 if result.all_passed() else 1
@@ -398,6 +465,7 @@ def main(argv=None) -> int:
 
         result = figure9(
             workloads_per_suite=args.per_suite, jobs=args.jobs, obs=args.obs,
+            backend=_resolve_cli_backend(args),
             progress=_progress_printer if args.progress else None)
         print(result.format())
         _print_cell_rollups(result)
@@ -408,6 +476,7 @@ def main(argv=None) -> int:
 
         result = figure10(
             workloads=args.workloads or None, jobs=args.jobs, obs=args.obs,
+            backend=_resolve_cli_backend(args),
             progress=_progress_printer if args.progress else None)
         print(result.format())
         _print_cell_rollups(result)
@@ -416,8 +485,13 @@ def main(argv=None) -> int:
     if command == "fig11":
         from repro.harness.experiments import figure11
 
+        from repro.harness.experiments import FIG11_WORKLOADS
+
         result = figure11(
+            workloads=tuple(args.workloads) if args.workloads
+            else FIG11_WORKLOADS,
             jobs=args.jobs, obs=args.obs,
+            backend=_resolve_cli_backend(args),
             progress=_progress_printer if args.progress else None)
         print(result.format())
         _print_cell_rollups(result)

@@ -7,7 +7,14 @@ from repro.harness.experiments import (
     figure11,
     table4,
 )
-from repro.harness.sweep import SweepCell, SweepRunner, resolve_jobs, run_cells
+from repro.harness.sweep import (
+    CellFailure,
+    SweepCell,
+    SweepCellError,
+    SweepRunner,
+    resolve_jobs,
+    run_cells,
+)
 from repro.harness.tables import table1, table2, table3
 
 __all__ = [
@@ -19,7 +26,9 @@ __all__ = [
     "table1",
     "table2",
     "table3",
+    "CellFailure",
     "SweepCell",
+    "SweepCellError",
     "SweepRunner",
     "resolve_jobs",
     "run_cells",

@@ -1,0 +1,503 @@
+"""The fault-tolerant work-queue backend (broker side).
+
+``QueueBackend.submit`` turns the calling process into a *broker*: it
+listens on a TCP socket, hands one cell at a time to each connected
+``repro worker`` process (JSON-line framed, see
+:mod:`repro.harness.dist.protocol`), and keeps the sweep alive through
+every failure mode the fleet can throw at it:
+
+- **per-cell timeout** -- an assignment that outlives ``cell_timeout``
+  is taken back, the wedged worker is dropped, and the cell re-queued
+  (``dist.timeouts``, ``dist.retries``);
+- **bounded retry with exponential backoff** -- a cell that raised or
+  timed out is retried up to ``max_retries`` times, each retry gated by
+  ``backoff_base * 2**attempt`` seconds (``dist.retries``); a cell that
+  exhausts its budget resolves to a
+  :class:`~repro.harness.sweep.CellFailure`;
+- **dead-worker detection** -- a worker that closes its connection or
+  goes silent past ``heartbeat_timeout`` is declared dead
+  (``dist.dead_workers``) and its in-flight cell re-queued immediately
+  (``dist.requeued``); spawned workers are respawned while the budget
+  lasts (``dist.respawns``);
+- **stale-result rejection** -- a worker the broker already gave up on
+  may still deliver; the scheduler accepts only the *current*
+  assignment, so a re-queued cell's result is never overwritten;
+- **graceful degradation** -- when no workers remain and none can be
+  respawned, the remaining cells run serially in-process
+  (``dist.serial_cells``), so a sweep always completes.
+
+Workers are either spawned locally (``QueueBackend(workers=2)`` starts
+``python -m repro worker --connect 127.0.0.1:PORT`` subprocesses) or
+started by hand/SSH anywhere that can reach ``host:port``
+(``spawn=False``).  Every counter lives in an
+:class:`repro.obs.metrics.MetricsRegistry` under ``dist.*`` and the
+standard sweep ``progress`` callback fires per completed cell, so
+``--progress`` reports a distributed sweep exactly like a local one.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from typing import Callable
+
+from repro.harness.dist import protocol
+from repro.harness.dist.scheduler import GAVE_UP, RETRY, CellScheduler
+from repro.harness.sweep import CellFailure
+from repro.obs.metrics import MetricsRegistry
+
+
+class _Conn:
+    """Broker-side view of one worker connection."""
+
+    __slots__ = ("channel", "wid", "last_seen", "inflight", "ready", "proc")
+
+    def __init__(self, channel, wid: int, now: float) -> None:
+        self.channel = channel
+        self.wid = wid
+        self.last_seen = now
+        self.inflight: int | None = None  # cell index, one at a time
+        self.ready = False  # handshake complete
+        self.proc = None    # spawned subprocess, if broker-launched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<worker#{self.wid} inflight={self.inflight}>"
+
+
+def worker_environment(extra=None) -> dict:
+    """Environment for a spawned worker process.
+
+    Inherits the broker's environment and prepends the broker's
+    ``sys.path`` to ``PYTHONPATH`` so cell functions defined in any
+    importable module (the repo's ``src`` layout, the test package)
+    resolve identically in the worker.
+    """
+    env = dict(os.environ)
+    paths = [p for p in sys.path if p and os.path.isdir(p)]
+    current = env.get("PYTHONPATH", "")
+    if current:
+        paths.append(current)
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(paths))
+    if extra:
+        env.update(extra)
+    return env
+
+
+class QueueBackend:
+    """Broker + N workers over TCP; see the module docstring.
+
+    Parameters mirror the failure semantics: ``cell_timeout`` /
+    ``max_retries`` / ``backoff_base`` shape the retry policy,
+    ``heartbeat_timeout`` the dead-worker detector, ``respawn_limit``
+    how many replacement workers may be spawned (default:
+    ``workers + max_retries``), and ``wait_for_workers`` how long an
+    empty fleet is waited for before degrading to the serial path.
+    ``metrics`` is the :class:`MetricsRegistry` receiving the ``dist.*``
+    counters (a fresh one per backend by default); ``events`` an
+    optional ``callback(kind, detail)`` fired on every failure-path
+    event (what ``--progress`` prints).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        spawn: bool = True,
+        cell_timeout: float | None = 300.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 5.0,
+        wait_for_workers: float = 60.0,
+        respawn_limit: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        metrics: MetricsRegistry | None = None,
+        events: Callable[[str, dict], None] | None = None,
+        check_fingerprint: bool = True,
+    ) -> None:
+        from repro.harness.sweep import resolve_jobs
+
+        self.workers = resolve_jobs(workers)
+        self.host = host
+        self.port = port
+        self.spawn = spawn
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.wait_for_workers = wait_for_workers
+        if respawn_limit is None:
+            respawn_limit = self.workers + max_retries
+        self.respawn_limit = respawn_limit
+        self.initializer = initializer
+        self.initargs = initargs
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self.check_fingerprint = check_fingerprint
+        #: (host, port) actually bound, set while submit() runs.
+        self.address: tuple[str, int] | None = None
+
+    # -- small helpers -------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(f"dist.{name}").add(amount)
+
+    def _event(self, kind: str, **detail) -> None:
+        if self.events is not None:
+            self.events(kind, detail)
+
+    # -- worker bootstrap (overridden by SSHBackend) -------------------
+    def _launch_workers(self, address, count: int) -> list:
+        """Spawn ``count`` loopback worker processes; return Popens."""
+        host, port = address
+        connect = f"{'127.0.0.1' if host in ('', '0.0.0.0') else host}:{port}"
+        procs = []
+        for _ in range(count):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", connect],
+                env=worker_environment(),
+                stdout=subprocess.DEVNULL,
+            ))
+        return procs
+
+    # -- the broker loop -----------------------------------------------
+    def submit(self, cells, progress=None) -> dict:
+        """Run every cell through the fleet; results keyed by cell."""
+        cells = list(cells)
+        if not cells:
+            return {}
+        payloads = self._payloads(cells)
+        if payloads is None:
+            # Unpicklable cell: nothing can cross a process boundary.
+            return self._run_serial(cells, range(len(cells)), {}, progress)
+
+        sched = CellScheduler(
+            len(cells), max_retries=self.max_retries,
+            backoff_base=self.backoff_base, cell_timeout=self.cell_timeout)
+        values: dict[int, object] = {}
+        selector = selectors.DefaultSelector()
+        listener = socket.create_server((self.host, self.port), backlog=64)
+        listener.setblocking(False)
+        selector.register(listener, selectors.EVENT_READ, data=None)
+        self.address = listener.getsockname()[:2]
+        procs: list = []
+        conns: dict[object, _Conn] = {}  # channel -> conn
+        next_wid = 0
+        respawns_used = 0
+        ever_connected = False
+        started = time.monotonic()
+        try:
+            if self.spawn:
+                procs = self._launch_workers(self.address,
+                                             min(self.workers, len(cells)))
+            while not sched.all_resolved():
+                now = time.monotonic()
+                self._reap(procs)
+                # Dead-fleet handling: degrade rather than hang.
+                if not conns and not procs:
+                    can_wait = (not ever_connected and not self.spawn
+                                and now - started < self.wait_for_workers)
+                    if self.spawn and respawns_used < self.respawn_limit:
+                        need = min(self.workers, len(sched.unfinished()))
+                        if need > 0:
+                            budget = self.respawn_limit - respawns_used
+                            procs = self._launch_workers(
+                                self.address, min(need, budget))
+                            respawns_used += len(procs)
+                            self._count("respawns", len(procs))
+                            self._event("respawn", count=len(procs))
+                    elif not can_wait:
+                        self._event("serial-fallback",
+                                    cells=len(sched.unfinished()))
+                        break
+                timeout = self._tick_timeout(sched, now)
+                for key, _mask in selector.select(timeout):
+                    if key.data is None:
+                        self._accept(listener, selector, conns, now,
+                                     next_wid)
+                        next_wid += 1
+                        continue
+                    conn = key.data
+                    messages = conn.channel.feed()
+                    if messages is None:  # EOF / connection reset
+                        self._drop(selector, conns, conn, sched, values,
+                                   dead=True)
+                        continue
+                    for message in messages:
+                        if self._handle(message, conn, selector, conns,
+                                        sched, values, cells, progress):
+                            ever_connected = True
+                now = time.monotonic()
+                self._expire_cells(selector, conns, sched, values, cells,
+                                   now, progress)
+                self._expire_silent(selector, conns, sched, values, now)
+                self._assign_ready(conns, sched, cells, now)
+        finally:
+            for conn in list(conns.values()):
+                try:
+                    conn.channel.send({"type": "shutdown"})
+                except OSError:
+                    pass
+                conn.channel.close()
+            selector.close()
+            listener.close()
+            self._terminate(procs)
+            self.address = None
+
+        unfinished = sched.unfinished()
+        if unfinished:
+            self._run_serial(cells, unfinished, values, progress,
+                             already_done=sched.resolved_count())
+        results: dict = {}
+        for index, cell in enumerate(cells):
+            if index in values:
+                results[cell.key] = values[index]
+            else:
+                failure = sched.failure(index)
+                if not isinstance(failure, CellFailure):
+                    failure = CellFailure(
+                        exc_type="RuntimeError",
+                        message=str(failure or "cell never resolved"),
+                        kind="worker died",
+                        attempts=sched.attempts(index))
+                results[cell.key] = failure
+        return results
+
+    # -- submit() internals --------------------------------------------
+    def _payloads(self, cells):
+        import pickle
+
+        payloads = [(cell.fn, dict(cell.kwargs)) for cell in cells]
+        try:
+            pickle.dumps(payloads)
+            if self.initializer is not None:
+                pickle.dumps((self.initializer, self.initargs))
+        except Exception:
+            return None
+        return payloads
+
+    def _tick_timeout(self, sched, now: float) -> float:
+        """Selector timeout: wake for the nearest deadline or backoff."""
+        horizon = now + 0.25  # heartbeat bookkeeping floor
+        deadline = sched.next_deadline()
+        if deadline is not None:
+            horizon = min(horizon, deadline)
+        ready = sched.next_ready_at(now)
+        if ready is not None:
+            horizon = min(horizon, ready)
+        return max(0.01, min(0.25, horizon - now))
+
+    def _accept(self, listener, selector, conns, now, wid) -> None:
+        try:
+            sock, _addr = listener.accept()
+        except OSError:  # pragma: no cover - raced accept
+            return
+        sock.setblocking(False)
+        channel = protocol.LineChannel(sock)
+        conn = _Conn(channel, wid, now)
+        conns[channel] = conn
+        selector.register(sock, selectors.EVENT_READ, data=conn)
+
+    def _handle(self, message, conn, selector, conns, sched, values,
+                cells, progress) -> bool:
+        """Dispatch one worker message; True when it was a valid hello."""
+        now = time.monotonic()
+        conn.last_seen = now
+        kind = message.get("type")
+        if kind == "heartbeat":
+            return False
+        if kind == "hello":
+            theirs = message.get("fingerprint", "")
+            ours = protocol.source_fingerprint()
+            if self.check_fingerprint and theirs != ours:
+                self._count("fingerprint_rejects")
+                self._event("worker-rejected", fingerprint=theirs,
+                            expected=ours)
+                try:
+                    conn.channel.send({
+                        "type": "reject",
+                        "reason": f"source fingerprint {theirs!r} does not "
+                                  f"match broker {ours!r}"})
+                except OSError:
+                    pass
+                self._drop(selector, conns, conn, sched, values, dead=False)
+                return False
+            init = ""
+            if self.initializer is not None:
+                init = protocol.pack((self.initializer, self.initargs))
+            try:
+                conn.channel.send({
+                    "type": "welcome", "init": init,
+                    "heartbeat_interval": self.heartbeat_interval})
+            except OSError:
+                self._drop(selector, conns, conn, sched, values, dead=True)
+                return False
+            conn.ready = True
+            self._count("workers_connected")
+            self._event("worker-connected", worker=conn.wid,
+                        pid=message.get("pid"), host=message.get("host"))
+            self._assign(conn, sched, cells, now)
+            return True
+        if kind == "result":
+            index, attempt = message.get("id", -1), message.get("attempt", -1)
+            try:
+                value = protocol.unpack(message.get("payload", ""))
+            except protocol.WireError as exc:
+                # Undecodable result payload: treat like a failed attempt.
+                self._failed_attempt(
+                    conn, sched, values, cells, index, attempt,
+                    CellFailure(exc_type="WireError", message=str(exc),
+                                kind="error", attempts=max(attempt, 1)),
+                    kind="error")
+            else:
+                if sched.complete(conn, index, attempt):
+                    values[index] = value
+                    conn.inflight = None
+                    self._count("cells_completed")
+                    if progress is not None:
+                        progress(sched.resolved_count(), len(cells),
+                                 cells[index].key,
+                                 float(message.get("wall", 0.0)))
+            self._assign(conn, sched, cells, now)
+            return False
+        if kind == "error":
+            index, attempt = message.get("id", -1), message.get("attempt", -1)
+            failure = CellFailure(
+                exc_type=message.get("exc_type", "Exception"),
+                message=message.get("exc_msg", ""),
+                traceback=message.get("traceback", ""),
+                kind="error",
+                attempts=attempt if attempt > 0 else 1)
+            self._failed_attempt(conn, sched, values, cells, index, attempt,
+                                 failure, kind="error")
+            self._assign(conn, sched, cells, now)
+            return False
+        # Unknown message type: tolerate (forward compatibility).
+        return False
+
+    def _failed_attempt(self, conn, sched, values, cells, index, attempt,
+                        failure, kind) -> None:
+        now = time.monotonic()
+        outcome = sched.fail(conn, index, attempt, now,
+                             failure=failure.retried(sched.attempts(index)),
+                             kind=kind)
+        if conn.inflight == index:
+            conn.inflight = None
+        if outcome == RETRY:
+            self._count("retries")
+            self._event("cell-retry", cell=str(cells[index].key), cause=kind,
+                        attempt=attempt)
+        elif outcome == GAVE_UP:
+            self._count("cells_failed")
+            self._event("cell-failed", cell=str(cells[index].key), cause=kind,
+                        attempt=attempt)
+
+    def _assign(self, conn, sched, cells, now) -> None:
+        """Hand the next ready cell to an idle, handshaken worker."""
+        if not conn.ready or conn.inflight is not None:
+            return
+        assignment = sched.next_cell(conn, now)
+        if assignment is None:
+            return
+        index, attempt = assignment
+        payload = protocol.pack((cells[index].fn, dict(cells[index].kwargs)))
+        try:
+            conn.channel.send({"type": "cell", "id": index,
+                               "attempt": attempt, "payload": payload})
+            conn.inflight = index
+        except OSError:
+            # Worker vanished between select and send; the EOF path
+            # will reap it -- put the cell straight back.
+            sched.fail(conn, index, attempt, now, kind="send-failed")
+
+    def _assign_ready(self, conns, sched, cells, now) -> None:
+        for conn in list(conns.values()):
+            self._assign(conn, sched, cells, now)
+
+    def _drop(self, selector, conns, conn, sched, values, dead: bool) -> None:
+        """Unregister a connection; re-queue whatever it was running."""
+        try:
+            selector.unregister(conn.channel.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.channel.close()
+        conns.pop(conn.channel, None)
+        now = time.monotonic()
+        requeued, gave_up = sched.worker_lost(conn, now)
+        if dead and conn.ready:
+            self._count("dead_workers")
+            self._event("worker-dead", worker=conn.wid)
+        if requeued:
+            self._count("requeued", len(requeued))
+        for index in gave_up:
+            self._count("cells_failed")
+
+    def _expire_cells(self, selector, conns, sched, values, cells, now,
+                      progress) -> None:
+        """Per-cell timeout: reclaim the cell, drop the wedged worker."""
+        for index, worker, attempt in sched.expired(now):
+            self._count("timeouts")
+            self._event("cell-timeout", cell=str(cells[index].key),
+                        attempt=attempt, worker=worker.wid)
+            failure = CellFailure(
+                exc_type="TimeoutError",
+                message=f"cell exceeded {self.cell_timeout}s",
+                kind="timeout", attempts=attempt)
+            self._failed_attempt(worker, sched, values, cells, index,
+                                 attempt, failure, kind="timeout")
+            # The worker is wedged on the expired cell: cut it loose.
+            self._drop(selector, conns, worker, sched, values, dead=False)
+
+    def _expire_silent(self, selector, conns, sched, values, now) -> None:
+        """Heartbeat-based dead-worker detection."""
+        for conn in list(conns.values()):
+            if now - conn.last_seen > self.heartbeat_timeout:
+                self._drop(selector, conns, conn, sched, values, dead=True)
+
+    def _run_serial(self, cells, indices, values, progress,
+                    already_done: int = 0) -> dict:
+        """Graceful degradation: finish the given cells in-process."""
+        indices = list(indices)
+        if self.initializer is not None and indices:
+            self.initializer(*self.initargs)
+        self._count("serial_cells", len(indices))
+        done = already_done
+        for index in indices:
+            cell = cells[index]
+            t0 = time.perf_counter()
+            try:
+                values[index] = cell.fn(**cell.kwargs)
+            except Exception as exc:
+                values[index] = CellFailure.from_exception(exc)
+            done += 1
+            if progress is not None:
+                progress(done, len(cells), cell.key,
+                         time.perf_counter() - t0)
+        return {cells[i].key: values[i] for i in sorted(values)}
+
+    def _reap(self, procs: list) -> None:
+        """Forget spawned workers that already exited."""
+        procs[:] = [proc for proc in procs if proc.poll() is None]
+
+    def _terminate(self, procs) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=5.0)

@@ -1,0 +1,190 @@
+"""Wire protocol for the distributed sweep queue.
+
+One TCP connection per worker; every message is a single JSON object
+terminated by ``\\n`` (JSON-line framing), so the stream is inspectable
+with ``nc`` and resilient to partial reads.  Binary payloads -- the
+``(fn, kwargs)`` of a cell and its result value -- travel as base64
+pickle inside the JSON envelope: pickle stores module-level functions
+by reference, which is exactly the spawn-safety contract
+:class:`~repro.harness.sweep.SweepCell` already imposes, and lets any
+picklable result (ints, OpStats, RunResult, LitmusResult) cross hosts
+unchanged.
+
+Message vocabulary (``type`` field):
+
+========== ========= ====================================================
+type       direction fields
+========== ========= ====================================================
+hello      w -> b    fingerprint, pid, host
+welcome    b -> w    init (base64 pickle of (initializer, initargs) or "")
+reject     b -> w    reason
+cell       b -> w    id, attempt, payload (base64 pickle of (fn, kwargs))
+result     w -> b    id, attempt, wall, payload (base64 pickle of value)
+error      w -> b    id, attempt, wall, exc_type, exc_msg, traceback
+heartbeat  w -> b    (empty)
+shutdown   b -> w    (empty)
+========== ========= ====================================================
+
+The ``fingerprint`` in ``hello`` is the generator source fingerprint
+(:func:`repro.core.generator._source_fingerprint`): a worker built from
+different protocol/spec/generator source would synthesize *different*
+compound FSMs, so the broker rejects it instead of silently mixing
+results (``dist.fingerprint_rejects``).
+
+Trust model: the payloads are pickle, so the queue assumes the same
+trust boundary as ``multiprocessing`` itself -- only run brokers and
+workers across machines you control (loopback by default).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import threading
+
+#: Upper bound on one framed line; a line longer than this means a
+#: corrupt peer (or a result that should not be shipped over a queue).
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+#: Bump when the message vocabulary changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class WireError(RuntimeError):
+    """A malformed frame, oversized line, or protocol violation."""
+
+
+def source_fingerprint() -> str:
+    """The generator source fingerprint workers present at handshake."""
+    from repro.core.generator import _source_fingerprint
+
+    return _source_fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Payload packing: arbitrary picklable values <-> JSON-safe strings.
+# ---------------------------------------------------------------------------
+
+def pack(value) -> str:
+    """Pickle ``value`` and base64-wrap it for the JSON envelope."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def unpack(text: str):
+    """Inverse of :func:`pack`."""
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise WireError(f"bad payload: {type(exc).__name__}: {exc}") from exc
+
+
+def encode(message: dict) -> bytes:
+    """Frame one message as a JSON line."""
+    if "type" not in message:
+        raise WireError(f"message without type: {message!r}")
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one framed line back into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"bad frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireError(f"frame is not a typed message: {line[:80]!r}")
+    return message
+
+
+class LineChannel:
+    """Incremental JSON-line codec over one socket.
+
+    Works in both blocking mode (the worker: :meth:`recv` parks until a
+    full line arrives) and non-blocking mode (the broker: :meth:`feed`
+    drains whatever the selector said is readable and returns zero or
+    more complete messages).  Writes are serialized with a lock because
+    the worker sends heartbeats from a side thread while the main
+    thread sends results.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = bytearray()
+        self._pending: list[dict] = []
+        self._send_lock = threading.Lock()
+        self.closed = False
+
+    # -- sending -------------------------------------------------------
+    def send(self, message: dict) -> None:
+        """Frame and send one message (thread-safe)."""
+        data = encode(message)
+        with self._send_lock:
+            self.sock.sendall(data)
+
+    # -- receiving -----------------------------------------------------
+    def _split(self) -> list[dict]:
+        messages = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                if len(self._buffer) > MAX_LINE_BYTES:
+                    raise WireError(
+                        f"frame exceeds {MAX_LINE_BYTES} bytes without a "
+                        f"newline")
+                return messages
+            line = bytes(self._buffer[:newline])
+            del self._buffer[:newline + 1]
+            if line:  # tolerate keepalive blank lines
+                messages.append(decode(line))
+
+    def feed(self) -> list[dict]:
+        """Drain readable bytes; return complete messages (may be []).
+
+        Returns ``None`` when the peer closed the connection.  Intended
+        for non-blocking sockets driven by a selector: a would-block
+        read simply ends the drain.
+        """
+        while True:
+            try:
+                chunk = self.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                return self._split()
+            except OSError:
+                self.closed = True
+                return None
+            if not chunk:
+                self.closed = True
+                return None
+            self._buffer.extend(chunk)
+            if len(self._buffer) < (1 << 16):
+                # Likely drained the kernel buffer; parse what we have.
+                return self._split()
+
+    def recv(self) -> dict | None:
+        """Blocking receive of exactly one message (None on EOF)."""
+        while True:
+            if not self._pending:
+                self._pending.extend(self._split())
+            if self._pending:
+                return self._pending.pop(0)
+            try:
+                chunk = self.sock.recv(1 << 16)
+            except OSError:
+                self.closed = True
+                return None
+            if not chunk:
+                self.closed = True
+                return None
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        """Close the underlying socket, ignoring teardown races."""
+        self.closed = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass

@@ -1,0 +1,228 @@
+"""Cell-assignment bookkeeping for the queue broker.
+
+Pure state machine, deliberately free of sockets and wall-clock reads:
+every method takes ``now`` as a float argument, so the broker drives it
+with ``time.monotonic()`` while the property-based tests drive it with
+a synthetic clock and random event orders.  The invariants the tests
+enforce (see ``tests/test_dist.py``):
+
+- every cell is resolved exactly once (a result or a permanent
+  failure), no matter how workers join, die, time out or race;
+- an accepted result is never overwritten -- late/stale deliveries of
+  a re-queued cell are rejected;
+- a cell is never in flight on two workers at the same time;
+- retry counts are bounded by ``max_retries`` and re-queued cells honor
+  exponential backoff before becoming assignable again.
+
+States of one cell::
+
+    PENDING --assign--> INFLIGHT --complete--> DONE
+       ^                   |  |
+       |   retry/backoff   |  +--fail (attempts left)---> PENDING
+       +-------------------+--fail (attempts exhausted)-> FAILED
+                              worker died --------------> PENDING
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: fail() / on_timeout outcomes.
+RETRY = "retry"
+GAVE_UP = "gave-up"
+STALE = "stale"
+
+
+@dataclass
+class _CellState:
+    index: int
+    attempts: int = 0          # assignments handed out so far
+    worker: object = None      # holder while INFLIGHT
+    deadline: float | None = None
+    ready_at: float = 0.0      # backoff gate while PENDING
+    done: bool = False
+    failure: object = None     # permanent failure record
+    history: list = field(default_factory=list)  # (kind, worker) per event
+
+
+class CellScheduler:
+    """Assignment, retry and orphan bookkeeping for ``n_cells`` cells.
+
+    The broker owns the sockets; this class owns *which cell runs
+    where*, and is the single source of truth for completion.
+    """
+
+    def __init__(self, n_cells: int, *, max_retries: int = 2,
+                 backoff_base: float = 0.05, cell_timeout: float | None = None,
+                 backoff_cap: float = 30.0) -> None:
+        if n_cells < 0:
+            raise ValueError(f"n_cells must be >= 0, got {n_cells}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.cell_timeout = cell_timeout
+        self._cells = [_CellState(i) for i in range(n_cells)]
+        self._pending = list(range(n_cells))  # FIFO of assignable indices
+        self._inflight: dict[int, object] = {}  # index -> worker
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def attempts(self, index: int) -> int:
+        """Assignments handed out for one cell so far."""
+        return self._cells[index].attempts
+
+    def is_done(self, index: int) -> bool:
+        """True once a result for ``index`` has been accepted."""
+        return self._cells[index].done
+
+    def failure(self, index: int):
+        """The permanent failure record for ``index`` (or None)."""
+        return self._cells[index].failure
+
+    def inflight(self) -> dict:
+        """Snapshot of ``{index: worker}`` currently assigned."""
+        return dict(self._inflight)
+
+    def unfinished(self) -> list[int]:
+        """Indices not yet resolved (pending + in flight), cell order."""
+        return [c.index for c in self._cells
+                if not c.done and c.failure is None]
+
+    def all_resolved(self) -> bool:
+        """True once every cell is done or permanently failed."""
+        return all(c.done or c.failure is not None for c in self._cells)
+
+    def resolved_count(self) -> int:
+        """How many cells are done or permanently failed."""
+        return sum(1 for c in self._cells if c.done or c.failure is not None)
+
+    def next_ready_at(self, now: float) -> float | None:
+        """Earliest instant a backoff-gated pending cell becomes
+        assignable (None when nothing is waiting on backoff)."""
+        waiting = [self._cells[i].ready_at for i in self._pending
+                   if self._cells[i].ready_at > now]
+        return min(waiting) if waiting else None
+
+    def next_deadline(self) -> float | None:
+        """Earliest in-flight deadline (None when nothing can expire)."""
+        deadlines = [self._cells[i].deadline for i in self._inflight
+                     if self._cells[i].deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    # -- assignment ----------------------------------------------------
+    def next_cell(self, worker, now: float) -> tuple[int, int] | None:
+        """Assign the next ready cell to ``worker``.
+
+        Returns ``(index, attempt)`` or None when nothing is currently
+        assignable (all cells resolved, in flight, or backoff-gated).
+        FIFO over ready cells keeps retried cells from starving.
+        """
+        for slot, index in enumerate(self._pending):
+            cell = self._cells[index]
+            if cell.ready_at <= now:
+                del self._pending[slot]
+                cell.attempts += 1
+                cell.worker = worker
+                cell.deadline = (
+                    now + self.cell_timeout
+                    if self.cell_timeout is not None else None)
+                self._inflight[index] = worker
+                return index, cell.attempts
+        return None
+
+    # -- resolution ----------------------------------------------------
+    def _is_current(self, worker, index: int, attempt: int) -> bool:
+        cell = self._cells[index]
+        return (self._inflight.get(index) is worker
+                and cell.attempts == attempt and not cell.done)
+
+    def complete(self, worker, index: int, attempt: int) -> bool:
+        """Accept a result delivery; False for stale/duplicate ones.
+
+        Only the *current* assignment may complete a cell: a worker the
+        broker already gave up on (timeout, presumed-dead) may still
+        deliver, and that delivery must not overwrite whatever the
+        retry produced.
+        """
+        if not (0 <= index < len(self._cells)):
+            return False
+        if not self._is_current(worker, index, attempt):
+            return False
+        cell = self._cells[index]
+        cell.done = True
+        cell.worker = None
+        cell.deadline = None
+        del self._inflight[index]
+        cell.history.append(("done", worker))
+        return True
+
+    def fail(self, worker, index: int, attempt: int, now: float,
+             failure=None, kind: str = "error") -> str:
+        """Record a failed attempt; decide retry vs give-up.
+
+        Returns :data:`RETRY` (cell re-queued with backoff),
+        :data:`GAVE_UP` (attempts exhausted; ``failure`` recorded as the
+        permanent outcome) or :data:`STALE` (delivery for a superseded
+        assignment -- ignored).
+        """
+        if not (0 <= index < len(self._cells)):
+            return STALE
+        if not self._is_current(worker, index, attempt):
+            return STALE
+        cell = self._cells[index]
+        cell.worker = None
+        cell.deadline = None
+        del self._inflight[index]
+        cell.history.append((kind, worker))
+        if cell.attempts > self.max_retries:
+            cell.failure = failure if failure is not None else kind
+            return GAVE_UP
+        cell.ready_at = now + min(
+            self.backoff_cap, self.backoff_base * (2 ** (cell.attempts - 1)))
+        self._pending.append(cell.index)
+        return RETRY
+
+    def worker_lost(self, worker, now: float) -> tuple[list[int], list[int]]:
+        """A worker died: orphaned cells are re-queued (or given up).
+
+        Returns ``(requeued, gave_up)`` index lists.  A worker death
+        still consumes an attempt -- a poison cell that crashes its
+        worker must not ping-pong forever -- but orphans are re-queued
+        *without* backoff: the cell itself is not known to be slow.
+        """
+        requeued, gave_up = [], []
+        for index, holder in list(self._inflight.items()):
+            if holder is not worker:
+                continue
+            cell = self._cells[index]
+            cell.worker = None
+            cell.deadline = None
+            del self._inflight[index]
+            cell.history.append(("orphaned", worker))
+            if cell.attempts > self.max_retries:
+                cell.failure = "worker died"
+                gave_up.append(index)
+            else:
+                cell.ready_at = now
+                self._pending.append(index)
+                requeued.append(index)
+        return requeued, gave_up
+
+    def expired(self, now: float) -> list[tuple[int, object, int]]:
+        """In-flight assignments past their per-cell deadline.
+
+        Returns ``(index, worker, attempt)`` tuples; the broker decides
+        what to do with the worker and routes the cell back through
+        :meth:`fail` with ``kind="timeout"``.
+        """
+        hits = []
+        for index, worker in self._inflight.items():
+            cell = self._cells[index]
+            if cell.deadline is not None and now >= cell.deadline:
+                hits.append((index, worker, cell.attempts))
+        return hits

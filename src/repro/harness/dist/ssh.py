@@ -1,0 +1,326 @@
+"""SSH-bootstrapped worker fleets (``backend="ssh:hosts.toml"``).
+
+:class:`SSHBackend` is :class:`~repro.harness.dist.broker.QueueBackend`
+with one difference: instead of spawning loopback subprocesses it
+starts ``python -m repro worker --connect <broker>:<port>`` on each
+host of a ``hosts.toml`` fleet over ``ssh``.  Everything else --
+heartbeats, retries, re-queueing, serial degradation, the ``dist.*``
+metrics -- is inherited unchanged, because to the broker a remote
+worker is just another TCP peer.
+
+``hosts.toml`` format (parsed with :mod:`tomllib`; a minimal fallback
+parser covers Python 3.10)::
+
+    [fleet]                       # defaults applied to every host
+    python = "python3"
+    repro_path = "/opt/repro/src" # remote PYTHONPATH entry
+    fsm_cache = "/tmp/repro-fsm"  # remote REPRO_FSM_CACHE directory
+    rsync_cache = true            # push the local FSM cache first
+
+    [[hosts]]
+    name = "nodeA"
+    ssh = "user@nodea"            # anything `ssh` accepts as target
+    workers = 4                   # worker processes on this host
+
+    [[hosts]]
+    name = "nodeB"
+    ssh = "nodeb"
+    workers = 2
+    python = "/opt/py311/bin/python"   # per-host override of any key
+
+**FSM-cache sharing.**  Compound-FSM synthesis must happen once per
+fleet, not once per worker: when ``rsync_cache`` is on and the local
+``REPRO_FSM_CACHE`` is configured, the backend runs the sweep
+initializer (``warm_fsm_cache``) locally to populate the on-disk cache,
+then rsyncs it to every host's ``fsm_cache`` directory before
+launching.  Cache entries are salted with the generator *source
+fingerprint* (see :func:`repro.core.generator._source_fingerprint`), so
+:func:`validate_cache_dir` can tell fresh pickles from stale ones --
+and a worker whose *code* fingerprint disagrees with the broker is
+rejected at handshake regardless, which is what makes mixing results
+from divergent checkouts impossible.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.dist.broker import QueueBackend
+
+#: Keys a host entry may override; everything else is rejected loudly.
+_HOST_KEYS = {"name", "ssh", "workers", "python", "repro_path",
+              "fsm_cache", "rsync_cache", "ssh_options"}
+
+_FLEET_DEFAULTS = {
+    "python": "python3",
+    "repro_path": "",
+    "fsm_cache": "",
+    "rsync_cache": False,
+    "ssh_options": ["-o", "BatchMode=yes"],
+    "workers": 1,
+}
+
+
+class HostsError(ValueError):
+    """A malformed or unusable ``hosts.toml``."""
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One fleet member after fleet-default merging."""
+
+    name: str
+    ssh: str
+    workers: int = 1
+    python: str = "python3"
+    repro_path: str = ""
+    fsm_cache: str = ""
+    rsync_cache: bool = False
+    ssh_options: tuple = ("-o", "BatchMode=yes")
+
+    def bootstrap_command(self, address: tuple[str, int]) -> list[str]:
+        """The ``ssh`` argv that starts one worker on this host."""
+        env_parts = []
+        if self.fsm_cache:
+            env_parts.append(f"REPRO_FSM_CACHE={self.fsm_cache}")
+        if self.repro_path:
+            env_parts.append(f"PYTHONPATH={self.repro_path}")
+        remote = " ".join(
+            (["env"] + env_parts if env_parts else [])
+            + [self.python, "-m", "repro", "worker",
+               "--connect", f"{address[0]}:{address[1]}"])
+        return ["ssh", *self.ssh_options, self.ssh, remote]
+
+    def rsync_command(self, local_cache: str) -> list[str] | None:
+        """The ``rsync`` argv that ships the FSM cache (or None)."""
+        if not (self.rsync_cache and self.fsm_cache and local_cache):
+            return None
+        return ["rsync", "-az", "--include", "*.pickle", "--exclude", "*",
+                f"{local_cache.rstrip('/')}/",
+                f"{self.ssh}:{self.fsm_cache.rstrip('/')}/"]
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """Tiny TOML subset parser for Python < 3.11 (no tomllib).
+
+    Supports ``[table]`` / ``[[array-of-tables]]`` headers and
+    ``key = value`` lines where value is a double-quoted string, an
+    integer, a boolean, or a flat array of quoted strings -- exactly
+    the shapes the documented ``hosts.toml`` format uses.
+    """
+    import re
+
+    def strip_comment(line: str) -> str:
+        in_string = False
+        for i, ch in enumerate(line):
+            if ch == '"':
+                in_string = not in_string
+            elif ch == "#" and not in_string:
+                return line[:i]
+        return line
+
+    root: dict = {}
+    current: dict = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            key = line[2:-2].strip()
+            current = {}
+            root.setdefault(key, []).append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            key = line[1:-1].strip()
+            current = root.setdefault(key, {})
+            continue
+        match = re.match(r"^([A-Za-z0-9_-]+)\s*=\s*(.+)$", line)
+        if not match:
+            raise HostsError(f"hosts.toml line {lineno}: cannot parse "
+                             f"{raw!r}")
+        key, value_text = match.group(1), match.group(2).strip()
+        if value_text.startswith('"') and value_text.endswith('"'):
+            value: object = value_text[1:-1]
+        elif value_text in ("true", "false"):
+            value = value_text == "true"
+        elif value_text.startswith("[") and value_text.endswith("]"):
+            value = [part.strip().strip('"')
+                     for part in value_text[1:-1].split(",")
+                     if part.strip()]
+        else:
+            try:
+                value = int(value_text)
+            except ValueError:
+                raise HostsError(
+                    f"hosts.toml line {lineno}: unsupported value "
+                    f"{value_text!r}") from None
+        current[key] = value
+    return root
+
+
+def _load_toml(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: fall back to the subset parser
+        return _parse_toml_minimal(text)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise HostsError(f"{path}: {exc}") from exc
+
+
+def load_hosts(path) -> list[HostSpec]:
+    """Parse ``hosts.toml`` into merged :class:`HostSpec` entries."""
+    path = Path(path)
+    if not path.is_file():
+        raise HostsError(f"hosts file not found: {path}")
+    data = _load_toml(path)
+    fleet = dict(_FLEET_DEFAULTS)
+    fleet_section = data.get("fleet", {})
+    if not isinstance(fleet_section, dict):
+        raise HostsError(f"{path}: [fleet] must be a table")
+    unknown = set(fleet_section) - (_HOST_KEYS - {"name", "ssh"})
+    if unknown:
+        raise HostsError(f"{path}: unknown [fleet] keys {sorted(unknown)}")
+    fleet.update(fleet_section)
+    entries = data.get("hosts", [])
+    if not entries:
+        raise HostsError(f"{path}: no [[hosts]] entries")
+    specs = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "ssh" not in entry:
+            raise HostsError(f"{path}: [[hosts]] entry {i} needs an "
+                             f"ssh = \"target\" key")
+        unknown = set(entry) - _HOST_KEYS
+        if unknown:
+            raise HostsError(f"{path}: [[hosts]] entry {i} has unknown "
+                             f"keys {sorted(unknown)}")
+        merged = {**fleet, **entry}
+        workers = merged.get("workers", 1)
+        if not isinstance(workers, int) or workers < 1:
+            raise HostsError(f"{path}: [[hosts]] entry {i}: workers must "
+                             f"be a positive integer, got {workers!r}")
+        specs.append(HostSpec(
+            name=str(merged.get("name", merged["ssh"])),
+            ssh=str(merged["ssh"]),
+            workers=workers,
+            python=str(merged["python"]),
+            repro_path=str(merged["repro_path"]),
+            fsm_cache=str(merged["fsm_cache"]),
+            rsync_cache=bool(merged["rsync_cache"]),
+            ssh_options=tuple(merged["ssh_options"]),
+        ))
+    return specs
+
+
+def validate_cache_dir(directory) -> tuple[int, int]:
+    """Count (fresh, stale) FSM-cache pickles against the current
+    source fingerprint -- the check that makes cache *sharing* safe:
+    only ``fresh`` entries will ever be loaded by current-code
+    workers."""
+    from repro.harness.dist.protocol import source_fingerprint
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        return (0, 0)
+    fingerprint = source_fingerprint()
+    fresh = stale = 0
+    for path in directory.glob("*.pickle"):
+        if path.stem.endswith(fingerprint):
+            fresh += 1
+        else:
+            stale += 1
+    return fresh, stale
+
+
+class SSHBackend(QueueBackend):
+    """Queue backend whose workers are SSH-bootstrapped remote fleets."""
+
+    name = "ssh"
+
+    def __init__(self, hosts_file, *, host: str = "0.0.0.0", port: int = 0,
+                 advertise: str | None = None, **queue_kwargs) -> None:
+        self.hosts = load_hosts(hosts_file)
+        total = sum(spec.workers for spec in self.hosts)
+        # Remote fleets are slower to come up than loopback spawns.
+        queue_kwargs.setdefault("wait_for_workers", 120.0)
+        queue_kwargs.setdefault("heartbeat_timeout", 15.0)
+        super().__init__(workers=total, host=host, port=port, spawn=True,
+                         **queue_kwargs)
+        self.advertise = advertise or _default_advertise()
+        self._cache_synced = False
+
+    # -- inspection (what the tests exercise without any SSH) ----------
+    def commands(self, address: tuple[str, int]) -> dict:
+        """The rsync/bootstrap argvs per host, without running them."""
+        local_cache = _local_fsm_cache()
+        plan = {}
+        for spec in self.hosts:
+            plan[spec.name] = {
+                "rsync": spec.rsync_command(local_cache),
+                "bootstrap": [spec.bootstrap_command(address)] * spec.workers,
+            }
+        return plan
+
+    # -- QueueBackend hook ---------------------------------------------
+    def _launch_workers(self, address, count: int) -> list:
+        """Bootstrap the fleet (ignores ``count``: hosts.toml rules)."""
+        advertise = (self.advertise, address[1])
+        self._sync_fsm_cache()
+        procs = []
+        for spec in self.hosts:
+            for _ in range(spec.workers):
+                procs.append(subprocess.Popen(
+                    spec.bootstrap_command(advertise),
+                    stdout=subprocess.DEVNULL,
+                ))
+        return procs
+
+    def _sync_fsm_cache(self) -> None:
+        """Warm the local FSM cache once and rsync it to the fleet."""
+        if self._cache_synced:
+            return
+        self._cache_synced = True
+        local_cache = _local_fsm_cache()
+        if not local_cache:
+            return
+        if self.initializer is not None:
+            # Populates the local on-disk cache (REPRO_FSM_CACHE is set).
+            self.initializer(*self.initargs)
+        fresh, stale = validate_cache_dir(local_cache)
+        self._event("cache-validated", fresh=fresh, stale=stale,
+                    directory=local_cache)
+        for spec in self.hosts:
+            command = spec.rsync_command(local_cache)
+            if command is None:
+                continue
+            try:
+                done = subprocess.run(command, capture_output=True,
+                                      timeout=120)
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                self._event("cache-sync-failed", host=spec.name,
+                            error=str(exc))
+                continue
+            if done.returncode != 0:
+                self._event("cache-sync-failed", host=spec.name,
+                            error=done.stderr.decode(errors="replace")[-500:])
+            else:
+                self._event("cache-synced", host=spec.name, fresh=fresh)
+
+
+def _local_fsm_cache() -> str:
+    """The local on-disk FSM cache directory, if configured."""
+    from repro.core.generator import _disk_cache_dir
+
+    directory = _disk_cache_dir()
+    return str(directory) if directory is not None else ""
+
+
+def _default_advertise() -> str:
+    """Best-effort hostname remote workers can connect back to."""
+    import socket
+
+    return socket.gethostname()

@@ -1,0 +1,140 @@
+"""The distributed sweep worker (``python -m repro worker``).
+
+A worker is deliberately dumb: connect, present the source fingerprint,
+run whatever cells the broker sends, one at a time, until told to shut
+down (or the connection dies).  All scheduling intelligence -- retry,
+backoff, timeouts, re-queueing -- lives broker-side, so a worker can be
+killed at any instant without losing anything but its current attempt.
+
+Liveness: a daemon thread sends a ``heartbeat`` frame every
+``heartbeat_interval`` seconds (the broker names the interval in its
+``welcome``) *while the main thread is busy inside a cell*, which is
+what lets the broker tell "slow cell on a live worker" apart from
+"worker is gone".  When the heartbeat thread finds the socket dead, the
+whole process exits immediately -- a worker whose broker vanished has
+nothing left to do, even mid-cell.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from repro.harness.dist import protocol
+
+#: Exit codes (also the CLI contract of ``repro worker``).
+EXIT_OK = 0
+EXIT_CONNECT = 1   # could not reach the broker
+EXIT_REJECTED = 2  # broker refused the handshake (fingerprint mismatch)
+EXIT_ORPHANED = 3  # broker connection died mid-run
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` connect spec."""
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text:
+        raise ValueError(f"connect address must be HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port in connect address {text!r}") from None
+    return host, port
+
+
+def _heartbeat_loop(channel: protocol.LineChannel, interval: float,
+                    stop: threading.Event) -> None:
+    """Side-thread keepalive; exits the process when the broker is gone.
+
+    ``os._exit`` (not ``sys.exit``) because the main thread may be deep
+    inside a long-running cell and must not keep burning CPU for a
+    broker that will never collect the result.
+    """
+    while not stop.wait(interval):
+        try:
+            channel.send({"type": "heartbeat"})
+        except OSError:
+            os._exit(EXIT_ORPHANED)
+
+
+def run_worker(address: tuple[str, int], *,
+               heartbeat_interval: float = 0.5,
+               fingerprint: str | None = None,
+               connect_timeout: float = 10.0) -> int:
+    """Serve cells from the broker at ``address`` until shutdown.
+
+    Returns a process exit code (see the ``EXIT_*`` constants).
+    ``fingerprint`` overrides the presented source fingerprint -- only
+    tests exercising the broker's mismatch rejection want that.
+    """
+    try:
+        sock = socket.create_connection(address, timeout=connect_timeout)
+    except OSError as exc:
+        print(f"worker: cannot connect to {address[0]}:{address[1]}: {exc}",
+              flush=True)
+        return EXIT_CONNECT
+    sock.settimeout(None)
+    channel = protocol.LineChannel(sock)
+    channel.send({
+        "type": "hello",
+        "fingerprint": (protocol.source_fingerprint()
+                        if fingerprint is None else fingerprint),
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "version": protocol.PROTOCOL_VERSION,
+    })
+    welcome = channel.recv()
+    if welcome is None or welcome.get("type") == "reject":
+        reason = (welcome or {}).get("reason", "connection closed")
+        print(f"worker: rejected by broker: {reason}", flush=True)
+        channel.close()
+        return EXIT_REJECTED
+    if welcome.get("type") != "welcome":
+        print(f"worker: unexpected handshake reply "
+              f"{welcome.get('type')!r}", flush=True)
+        channel.close()
+        return EXIT_REJECTED
+
+    init = welcome.get("init", "")
+    if init:
+        initializer, initargs = protocol.unpack(init)
+        initializer(*initargs)
+
+    stop = threading.Event()
+    interval = float(welcome.get("heartbeat_interval", heartbeat_interval))
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(channel, interval, stop),
+        name="repro-worker-heartbeat", daemon=True)
+    beat.start()
+    try:
+        while True:
+            message = channel.recv()
+            if message is None or message.get("type") == "shutdown":
+                return EXIT_OK
+            if message.get("type") != "cell":
+                continue  # tolerate unknown frames
+            index = message.get("id", -1)
+            attempt = message.get("attempt", 1)
+            t0 = time.perf_counter()
+            try:
+                fn, kwargs = protocol.unpack(message.get("payload", ""))
+                value = fn(**kwargs)
+                reply = {"type": "result", "id": index, "attempt": attempt,
+                         "wall": time.perf_counter() - t0,
+                         "payload": protocol.pack(value)}
+            except Exception as exc:
+                import traceback
+
+                reply = {"type": "error", "id": index, "attempt": attempt,
+                         "wall": time.perf_counter() - t0,
+                         "exc_type": type(exc).__name__,
+                         "exc_msg": str(exc),
+                         "traceback": traceback.format_exc()}
+            try:
+                channel.send(reply)
+            except OSError:
+                return EXIT_ORPHANED
+    finally:
+        stop.set()
+        channel.close()

@@ -155,11 +155,18 @@ def _fsm_pairs(combos) -> tuple:
     }))
 
 
-def _sweep(cells, combos, jobs: int | None, progress=None) -> dict:
-    """Run figure cells through a SweepRunner warmed for ``combos``."""
+def _sweep(cells, combos, jobs: int | None, progress=None,
+           backend=None) -> dict:
+    """Run figure cells through a SweepRunner warmed for ``combos``.
+
+    ``backend`` selects the execution backend (None for the local pool;
+    see :func:`repro.harness.dist.resolve_backend` for the string
+    spellings) -- results are keyed by cell either way, so every
+    backend regenerates the figure bit-identically.
+    """
     runner = SweepRunner(
         jobs=jobs, initializer=warm_fsm_cache, initargs=(_fsm_pairs(combos),),
-        progress=progress,
+        progress=progress, backend=backend,
     )
     return runner.map(cells)
 
@@ -206,7 +213,7 @@ class Figure10Result:
 def figure10(workloads=None, cores_per_cluster=2, scale=None,
              seeds=(1, 2, 3), combos=FIG10_COMBOS,
              jobs: int | None = None, obs: bool = False,
-             progress=None) -> Figure10Result:
+             progress=None, backend=None) -> Figure10Result:
     """Regenerate Fig. 10: protocol combinations, normalized time.
 
     Each (workload, combo, seed) cell is an independent simulation;
@@ -230,7 +237,8 @@ def figure10(workloads=None, cores_per_cluster=2, scale=None,
         for combo in combos
         for seed in seeds
     ]
-    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
+    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress,
+                                         backend))
     times = {
         (workload, combo_name(combo)): geomean(
             runs[(workload, combo_name(combo), seed)] for seed in seeds)
@@ -277,7 +285,7 @@ class Figure9Result:
 def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
             combos=(("MESI", "CXL", "MESI"), ("MESI", "CXL", "MOESI")),
             jobs: int | None = None, obs: bool = False,
-            progress=None) -> Figure9Result:
+            progress=None, backend=None, seeds=(1, 2)) -> Figure9Result:
     """Regenerate Fig. 9: per-suite MCM-combination means.
 
     Every (combo, suite, MCM label, workload, seed) cell runs
@@ -304,14 +312,15 @@ def figure9(workloads_per_suite=None, cores_per_cluster=2, scale=None, seed=1,
         for suite in suites
         for label, mcms in FIG9_MCMS
         for name in suite_names[suite]
-        for run_seed in (1, 2)
+        for run_seed in seeds
     ]
-    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
+    runs, rollups = split_metrics(_sweep(cells, combos, jobs, progress,
+                                         backend))
     times = {
         (combo_name(combo), label, suite): geomean(
             runs[(combo_name(combo), label, suite, name, run_seed)]
             for name in suite_names[suite]
-            for run_seed in (1, 2))
+            for run_seed in seeds)
         for combo in combos
         for suite in suites
         for label, _mcms in FIG9_MCMS
@@ -376,7 +385,7 @@ class Figure11Result:
 
 def figure11(workloads=FIG11_WORKLOADS, cores_per_cluster=2, scale=None,
              seed=1, jobs: int | None = None, obs: bool = False,
-             progress=None) -> Figure11Result:
+             progress=None, backend=None) -> Figure11Result:
     """Regenerate Fig. 11: miss-cycle latency breakdown."""
     scale = default_scale() if scale is None else scale
     combos = (("MESI", "MESI", "MESI"), ("MESI", "CXL", "MESI"))
@@ -391,7 +400,8 @@ def figure11(workloads=FIG11_WORKLOADS, cores_per_cluster=2, scale=None,
         for workload in workloads
         for combo in combos
     ]
-    stats, rollups = split_metrics(_sweep(cells, combos, jobs, progress))
+    stats, rollups = split_metrics(_sweep(cells, combos, jobs, progress,
+                                          backend))
     return Figure11Result(tuple(workloads), stats, cell_metrics=rollups)
 
 
@@ -436,7 +446,8 @@ class Table4Result:
 
 
 def table4(runs: int | None = None, seed: int = 0,
-           jobs: int | None = None, progress=None) -> Table4Result:
+           jobs: int | None = None, progress=None,
+           backend=None) -> Table4Result:
     """Regenerate Table IV: the litmus matrix.
 
     Each of the 7 tests x 2 combos x 3 MCM pairings is an independent
@@ -455,4 +466,4 @@ def table4(runs: int | None = None, seed: int = 0,
         for label, mcms in TABLE4_MCMS
     ]
     return Table4Result(results=_sweep(cells, TABLE4_PROTOCOLS, jobs,
-                                       progress))
+                                       progress, backend))

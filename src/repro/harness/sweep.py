@@ -3,10 +3,19 @@
 Every paper figure is a sweep over independent simulation cells --
 (workload x protocol combo x MCM x seed) -- that share no state: each
 cell builds its own :class:`~repro.sim.system.System` from a config and
-a seed.  :class:`SweepRunner` fans those cells out over a
-``multiprocessing`` process pool while keeping the *results* keyed by
-cell, so a parallel sweep is bit-identical to the serial one regardless
-of completion order.
+a seed.  :class:`SweepRunner` fans those cells out over an execution
+*backend* while keeping the *results* keyed by cell, so any backend's
+sweep is bit-identical to the serial one regardless of completion
+order.
+
+Backends (see :mod:`repro.harness.dist` and ``docs/DISTRIBUTED.md``):
+
+- the default local process pool (``jobs`` workers, this machine),
+- ``backend="serial"`` -- the plain in-process loop,
+- ``backend="queue[:N]"`` -- a fault-tolerant TCP work queue with N
+  spawned loopback workers (or externally launched
+  ``python -m repro worker --connect host:port`` processes),
+- ``backend="ssh:hosts.toml"`` -- an SSH-bootstrapped remote fleet.
 
 Design constraints (and how they are met):
 
@@ -17,7 +26,12 @@ Design constraints (and how they are met):
 - **Determinism.**  Results are stored by cell key (never by completion
   order) and every cell carries its own seed, so
   ``SweepRunner(jobs=N).map(cells) == SweepRunner(jobs=1).map(cells)``
-  for any ``N``.
+  for any ``N`` -- and equally for the queue backend.
+- **Per-cell failure isolation.**  A cell exception is captured as a
+  :class:`CellFailure` instead of aborting the batch mid-flight; after
+  every cell resolved, the runner raises :class:`SweepCellError`
+  (listing all failures, completed results attached) unless
+  ``capture_errors=True`` asked for the failures in the result dict.
 - **Graceful fallback.**  ``jobs=1``, a single cell, an unpicklable
   cell, or an OS that cannot spawn processes all fall back to a plain
   in-process loop.  ``runner.last_mode`` records which path ran.
@@ -27,6 +41,8 @@ Knobs:
 - ``REPRO_JOBS`` (or the ``--jobs`` CLI flag / ``jobs=`` keyword):
   worker count; defaults to ``os.cpu_count()``; ``1`` forces the
   serial path.
+- ``REPRO_BACKEND`` (or ``--backend`` / ``backend=``): execution
+  backend spec; see :func:`repro.harness.dist.resolve_backend`.
 - ``REPRO_MP_START``: multiprocessing start method (``fork`` /
   ``spawn`` / ``forkserver``); defaults to the platform default.
 
@@ -37,7 +53,7 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
@@ -78,6 +94,66 @@ class SweepCell:
 
 
 @dataclass(frozen=True)
+class CellFailure:
+    """The captured outcome of a cell that could not produce a result.
+
+    Exceptions are flattened to strings (type name, message, formatted
+    traceback) so a failure crosses process and host boundaries exactly
+    like a result would.  ``kind`` distinguishes the failure path:
+    ``"error"`` (the cell raised), ``"timeout"`` (queue backend gave up
+    waiting) or ``"worker died"`` (orphaned past the retry budget).
+    ``attempts`` counts how many times the cell was tried in total.
+    """
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+    kind: str = "error"
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, kind: str = "error",
+                       attempts: int = 1) -> "CellFailure":
+        """Flatten a live exception into a portable failure record."""
+        return cls(
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(traceback_module.format_exception(
+                type(exc), exc, exc.__traceback__)),
+            kind=kind,
+            attempts=attempts,
+        )
+
+    def retried(self, attempts: int) -> "CellFailure":
+        """Copy of this failure with the final attempt count stamped."""
+        return CellFailure(self.exc_type, self.message, self.traceback,
+                           self.kind, attempts)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.exc_type}: {self.message}"
+
+
+class SweepCellError(RuntimeError):
+    """One or more cells failed after every cell was given its chance.
+
+    ``failures`` maps cell key -> :class:`CellFailure`; ``results``
+    holds the successful cells, so a caller that wants partial output
+    after a failure can still get it.
+    """
+
+    def __init__(self, failures: dict, results: dict) -> None:
+        self.failures = failures
+        self.results = results
+        preview = "; ".join(
+            f"{key}: {failure}" for key, failure
+            in list(failures.items())[:3])
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(results)} sweep "
+            f"cells failed: {preview}{more}")
+
+
+@dataclass(frozen=True)
 class CellOutput:
     """A sweep-cell return value paired with its per-cell metric rollup.
 
@@ -110,23 +186,13 @@ def split_metrics(results: Mapping[Hashable, Any]) -> tuple[dict, dict]:
     return values, rollups
 
 
-def _run_cell(payload):
-    """Pool worker entry: run one cell, tagging the result with its
-    index and wall time (measured in the worker, so the parent's
-    progress report shows real per-cell cost, not queueing delay)."""
-    index, fn, kwargs = payload
-    t0 = time.perf_counter()
-    result = fn(**kwargs)
-    return index, time.perf_counter() - t0, result
-
-
 class SweepRunner:
-    """Fan independent sweep cells out over a process pool.
+    """Fan independent sweep cells out over an execution backend.
 
     Results come back as ``{cell.key: fn(**kwargs)}`` in the order the
     cells were given, independent of which worker finished first -- the
-    property that keeps parallel figure regeneration bit-identical to
-    the serial path.
+    property that keeps parallel (and distributed) figure regeneration
+    bit-identical to the serial path.
     """
 
     def __init__(
@@ -136,6 +202,8 @@ class SweepRunner:
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
         progress: Callable[[int, int, Hashable, float], None] | None = None,
+        backend=None,
+        capture_errors: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.start_method = (
@@ -148,7 +216,20 @@ class SweepRunner:
         #: Optional callback ``progress(done, total, key, wall_seconds)``
         #: fired as each cell completes (in completion order).
         self.progress = progress
-        #: "serial" or "parallel" after the last map() call.
+        #: Execution backend: None for the built-in local pool, a spec
+        #: string (``"serial"``, ``"queue:2"``, ``"ssh:hosts.toml"``,
+        #: see :func:`repro.harness.dist.resolve_backend`) or a Backend
+        #: instance.  Defaults to the ``REPRO_BACKEND`` env knob.
+        if backend is None:
+            from repro.harness.dist import BACKEND_ENV
+
+            backend = os.environ.get(BACKEND_ENV, "").strip() or None
+        self.backend = backend
+        #: Return :class:`CellFailure` objects in the result dict
+        #: instead of raising :class:`SweepCellError` at the end.
+        self.capture_errors = capture_errors
+        #: Backend name after the last map() call ("serial", "parallel",
+        #: "queue", "ssh").
         self.last_mode: str | None = None
         #: The exception that forced a fallback to serial, if any.
         self.last_fallback: BaseException | None = None
@@ -166,21 +247,73 @@ class SweepRunner:
                 seen.add(key)
             raise ValueError(f"duplicate sweep cell keys: {dupes[:5]}")
         self.last_fallback = None
+        backend = self._explicit_backend()
+        if backend is not None:
+            results = backend.submit(cells, progress=self.progress)
+            self.last_mode = backend.name
+            return self._finish(results)
+        return self._finish(self._map_local(cells))
+
+    # ------------------------------------------------------------------
+    def _explicit_backend(self):
+        """Resolve the explicit backend, if one was requested.
+
+        ``"local"`` and ``"serial"`` resolve to None here and steer the
+        built-in path instead, so they keep its preflight checks and
+        pool fallback behaviour.
+        """
+        spec = self.backend
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            text = spec.strip().lower()
+            if text == "local":
+                return None
+            if text == "serial":
+                self.jobs = 1
+                return None
+        from repro.harness.dist import resolve_backend
+
+        backend = resolve_backend(spec, jobs=self.jobs,
+                                  initializer=self.initializer,
+                                  initargs=self.initargs)
+        if self.initializer is not None \
+                and getattr(backend, "initializer", True) is None:
+            # A pre-built instance (e.g. the CLI wiring an event sink)
+            # still inherits the runner's cache-warming initializer.
+            backend.initializer = self.initializer
+            backend.initargs = self.initargs
+        return backend
+
+    def _map_local(self, cells) -> dict:
+        """The built-in path: process pool with serial fallbacks."""
         if self.jobs <= 1 or len(cells) <= 1:
             return self._map_serial(cells)
-        payloads = self._payloads(cells)
-        if payloads is None:  # unpicklable cell: spawn-unsafe, go serial
+        if not self._picklable(cells):  # spawn-unsafe, go serial
             return self._map_serial(cells)
         try:
-            return self._map_parallel(cells, payloads)
+            return self._map_parallel(cells)
         except (OSError, ImportError) as exc:
             # No pool on this platform (sandboxed /dev/shm, missing
             # semaphores, fork failure): degrade, don't die.
             self.last_fallback = exc
             return self._map_serial(cells)
 
+    def _finish(self, results: dict) -> dict:
+        """Raise on captured failures unless ``capture_errors`` asked
+        for them in the result dict."""
+        if self.capture_errors:
+            return results
+        failures = {key: value for key, value in results.items()
+                    if isinstance(value, CellFailure)}
+        if failures:
+            completed = {key: value for key, value in results.items()
+                         if not isinstance(value, CellFailure)}
+            raise SweepCellError(failures, completed)
+        return results
+
     # ------------------------------------------------------------------
-    def _payloads(self, cells):
+    def _picklable(self, cells) -> bool:
         payloads = [(i, cell.fn, dict(cell.kwargs))
                     for i, cell in enumerate(cells)]
         try:
@@ -189,47 +322,26 @@ class SweepRunner:
                 pickle.dumps((self.initializer, self.initargs))
         except Exception as exc:  # PicklingError, AttributeError, TypeError
             self.last_fallback = exc
-            return None
-        return payloads
+            return False
+        return True
 
     def _map_serial(self, cells) -> dict:
+        from repro.harness.dist.local import SerialBackend
+
         self.last_mode = "serial"
-        if self.initializer is not None:
-            self.initializer(*self.initargs)
-        progress = self.progress
-        results: dict = {}
-        total = len(cells)
-        for done, cell in enumerate(cells, start=1):
-            t0 = time.perf_counter()
-            results[cell.key] = cell.fn(**cell.kwargs)
-            if progress is not None:
-                progress(done, total, cell.key, time.perf_counter() - t0)
-        return results
+        backend = SerialBackend(initializer=self.initializer,
+                                initargs=self.initargs)
+        return backend.submit(cells, progress=self.progress)
 
-    def _map_parallel(self, cells, payloads) -> dict:
-        import multiprocessing
+    def _map_parallel(self, cells) -> dict:
+        from repro.harness.dist.local import ProcessPoolBackend
 
-        context = multiprocessing.get_context(self.start_method)
-        progress = self.progress
-        total = len(cells)
-        done = 0
-        results: list = [None] * len(cells)
-        filled = [False] * len(cells)
-        with context.Pool(
-            processes=min(self.jobs, len(cells)),
-            initializer=self.initializer,
-            initargs=self.initargs,
-        ) as pool:
-            for index, wall, value in pool.imap_unordered(_run_cell, payloads):
-                results[index] = value
-                filled[index] = True
-                done += 1
-                if progress is not None:
-                    progress(done, total, cells[index].key, wall)
-        if not all(filled):  # pragma: no cover - pool never drops tasks
-            raise OSError("process pool dropped sweep cells")
+        backend = ProcessPoolBackend(
+            jobs=self.jobs, start_method=self.start_method,
+            initializer=self.initializer, initargs=self.initargs)
+        results = backend.submit(cells, progress=self.progress)
         self.last_mode = "parallel"
-        return {cell.key: results[i] for i, cell in enumerate(cells)}
+        return results
 
 
 def run_cells(

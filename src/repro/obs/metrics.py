@@ -152,6 +152,17 @@ class MetricsRegistry:
         return {path: self._metrics[path].to_dict()
                 for path in sorted(self._metrics)}
 
+    def counter_values(self, prefix: str = "") -> dict:
+        """Flat ``{path: value}`` of the counters under ``prefix``.
+
+        The convenience view the distributed-sweep tests and the
+        ``--progress`` reporting read (``registry.counter_values("dist.")``);
+        non-counter metrics are skipped.
+        """
+        return {path: metric.value
+                for path, metric in sorted(self._metrics.items())
+                if path.startswith(prefix) and isinstance(metric, Counter)}
+
     def tree(self) -> dict:
         """Nested dict view of the namespace, gem5 ``stats.txt`` style."""
         root: dict = {}
