@@ -2,11 +2,12 @@
 
 Not a paper figure: this keeps the queue backend honest.  It runs a
 16-cell Fig. 9-style grid (2 combos x 2 MCM labels x 2 workloads x
-2 seeds) three ways -- serially, through the 2-worker process pool, and
-through a :class:`QueueBackend` with 2 loopback TCP workers -- asserts
-all three result dicts are byte-identical, and bounds how much the
-queue's framing/handshake overhead may cost over the pool on the same
-box.  A shared on-disk FSM cache (``REPRO_FSM_CACHE``) keeps compound
+2 seeds) four ways -- serially, through the 2-worker process pool,
+through a :class:`QueueBackend` with 2 loopback TCP workers assigning
+one cell per frame, and through the same fleet with chunked assignment
+(4 cells per frame) -- asserts all four result dicts are
+byte-identical, and bounds how much the queue's framing/handshake
+overhead may cost over the pool on the same box.  A shared on-disk FSM cache (``REPRO_FSM_CACHE``) keeps compound
 synthesis out of the comparison, exactly as a real fleet would share it.
 
 The measured numbers are appended to ``BENCH_dist.json`` at the repo
@@ -79,16 +80,20 @@ def test_queue_overhead_vs_pool_on_16_cell_grid(
         serial_s, serial = _timed("serial")
         pool_s, pool = _timed("local")
         queue_s, queue = _timed(QueueBackend(workers=2, backoff_base=0.01))
-        return serial_s, serial, pool_s, pool, queue_s, queue
+        chunked_s, chunked = _timed(
+            QueueBackend(workers=2, backoff_base=0.01, chunk=4))
+        return (serial_s, serial, pool_s, pool, queue_s, queue,
+                chunked_s, chunked)
 
     try:
-        serial_s, serial, pool_s, pool, queue_s, queue = benchmark.pedantic(
-            run, rounds=1, iterations=1)
+        (serial_s, serial, pool_s, pool, queue_s, queue,
+         chunked_s, chunked) = benchmark.pedantic(run, rounds=1, iterations=1)
     finally:
         clear_fsm_cache()
 
-    # Determinism: all three backends are byte-identical.
-    assert pickle.dumps(serial) == pickle.dumps(pool) == pickle.dumps(queue)
+    # Determinism: all four backends are byte-identical.
+    assert (pickle.dumps(serial) == pickle.dumps(pool)
+            == pickle.dumps(queue) == pickle.dumps(chunked))
     assert len(serial) == 16
 
     # The fleet must never cost more than 2x the pool on the same box:
@@ -99,6 +104,14 @@ def test_queue_overhead_vs_pool_on_16_cell_grid(
         f"queue:2 took {queue_s:.3f}s vs pool {pool_s:.3f}s "
         f"({ratio_queue_pool:.2f}x > 2.0x bound)")
 
+    # Chunked assignment (4 cells per frame) amortizes the framing, so
+    # it gets the same bound -- it should sit at or below the per-cell
+    # queue's ratio once cells are cheap enough for framing to matter.
+    ratio_chunked_pool = chunked_s / pool_s
+    assert ratio_chunked_pool <= 2.0, (
+        f"chunked queue:2 took {chunked_s:.3f}s vs pool {pool_s:.3f}s "
+        f"({ratio_chunked_pool:.2f}x > 2.0x bound)")
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "cpu_count": os.cpu_count(),
@@ -106,8 +119,10 @@ def test_queue_overhead_vs_pool_on_16_cell_grid(
         "serial_s": round(serial_s, 4),
         "pool2_s": round(pool_s, 4),
         "queue2_s": round(queue_s, 4),
+        "queue2_chunked_s": round(chunked_s, 4),
         "ratio_queue_over_pool": round(ratio_queue_pool, 4),
         "ratio_queue_over_serial": round(queue_s / serial_s, 4),
+        "ratio_chunked_queue_over_pool": round(ratio_chunked_pool, 4),
     }
     history = []
     if BENCH_JSON.exists():
@@ -121,5 +136,6 @@ def test_queue_overhead_vs_pool_on_16_cell_grid(
         "dist_overhead",
         f"16-cell fig9-style grid: serial {serial_s:.3f}s, pool(2) "
         f"{pool_s:.3f}s, queue(2) {queue_s:.3f}s "
-        f"({ratio_queue_pool:.2f}x pool, cpu_count={record['cpu_count']})",
+        f"({ratio_queue_pool:.2f}x pool), chunked queue(2) {chunked_s:.3f}s "
+        f"({ratio_chunked_pool:.2f}x pool, cpu_count={record['cpu_count']})",
     )

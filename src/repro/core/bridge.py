@@ -257,7 +257,7 @@ class C3Bridge(Node):
                 line.state = "E"
                 line.data = self.local_backing.read(line.addr)
                 line.dirty = False
-                self.engine.schedule(
+                self.engine.post(
                     self.local_mem_latency, self._txn_local_phase, txn, line
                 )
                 return
@@ -302,11 +302,11 @@ class C3Bridge(Node):
         elif txn.kind == "GetM":
             self._local_getm(txn, line)
         elif txn.kind == "RCC_READ":
-            self.engine.schedule(
+            self.engine.post(
                 self.latency, self._finish_rcc_read, txn, line.addr
             )
         elif txn.kind == "RCC_WRITE":
-            self.engine.schedule(
+            self.engine.post(
                 self.latency, self._finish_rcc_write, txn, line.addr
             )
         else:  # pragma: no cover
@@ -339,7 +339,7 @@ class C3Bridge(Node):
             grant = "F"
         else:
             grant = "S"
-        self.engine.schedule(self.latency, self._grant_gets, txn, line.addr, grant)
+        self.engine.post(self.latency, self._grant_gets, txn, line.addr, grant)
 
     def _grant_gets(self, txn: LocalTxn, addr: int, grant: str) -> None:
         line = self.cache.peek(addr)
@@ -376,7 +376,7 @@ class C3Bridge(Node):
             txn.owner_forwarded = True
             txn.acks_needed += 1
         if txn.acks_needed == 0:
-            self.engine.schedule(self.latency, self._grant_getm, txn, line.addr)
+            self.engine.post(self.latency, self._grant_getm, txn, line.addr)
         else:
             txn.phase = "acks"
 
@@ -457,7 +457,7 @@ class C3Bridge(Node):
                 rec.f_holder = None
             txn.acks_got += 1
         if txn.phase == "acks" and txn.acks_got >= txn.acks_needed:
-            self.engine.schedule(self.latency, self._grant_getm, txn, addr)
+            self.engine.post(self.latency, self._grant_getm, txn, addr)
             txn.phase = "granting"
 
     def _apply_wb(self, line: CacheLine, rec: DirRecord, msg: m.Message) -> None:
@@ -629,7 +629,7 @@ class C3Bridge(Node):
             line = self.cache.peek(addr)
             if line is not None and line.dirty:
                 self.local_backing.write(addr, line.data)
-            self.engine.schedule(
+            self.engine.post(
                 self.local_mem_latency if line is not None and line.dirty else 0,
                 self._evict_done, addr, on_done,
             )

@@ -88,7 +88,7 @@ class Core:
         self._on_done = on_done
         self.finish_time = None
         if not self.ops:
-            self.engine.schedule(0, self._finish)
+            self.engine.post(0, self._finish)
             return
         self._request_scan()
 
@@ -103,7 +103,7 @@ class Core:
     def _request_scan(self) -> None:
         if not self._scan_pending:
             self._scan_pending = True
-            self.engine.schedule(0, self._scan)
+            self.engine.post(0, self._scan)
 
     def _head(self) -> int:
         # Monotone: statuses only ever increase, so resume the scan.
@@ -161,7 +161,7 @@ class Core:
                         continue
                 if op.gap > 0:
                     self.status[i] = SCHED
-                    self.engine.schedule(op.gap * self.cycle, self._issue, i)
+                    self.engine.post(op.gap * self.cycle, self._issue, i)
                 else:
                     self._issue(i)
                 progress = True
@@ -210,7 +210,7 @@ class Core:
         if op.kind in (LOAD, LOAD_ACQ):
             forwarded = self._forward_value(i, op.addr)
             if forwarded is not None and op.kind == LOAD:
-                self.engine.schedule(self.cycle, self._complete, i, forwarded)
+                self.engine.post(self.cycle, self._complete, i, forwarded)
                 return
         self.l1.core_request(op.kind, op.addr, op.value, lambda v, i=i: self._complete(i, v))
 

@@ -60,12 +60,12 @@ class _Conn:
         self.channel = channel
         self.wid = wid
         self.last_seen = now
-        self.inflight: int | None = None  # cell index, one at a time
+        self.inflight: set[int] = set()  # cell indices of the active batch
         self.ready = False  # handshake complete
         self.proc = None    # spawned subprocess, if broker-launched
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<worker#{self.wid} inflight={self.inflight}>"
+        return f"<worker#{self.wid} inflight={sorted(self.inflight)}>"
 
 
 def worker_environment(extra=None) -> dict:
@@ -100,6 +100,14 @@ class QueueBackend:
     counters (a fresh one per backend by default); ``events`` an
     optional ``callback(kind, detail)`` fired on every failure-path
     event (what ``--progress`` prints).
+
+    ``chunk`` batches several cells into one ``cells`` assignment frame
+    so cheap cells do not pay one queue round-trip each; the worker
+    still streams one reply per cell, so retries, timeouts and progress
+    stay per-cell (batched cells get staggered deadlines).  ``None``
+    (default) auto-sizes the batch to keep at least ~4 batches per
+    worker for load balancing; ``1`` restores the one-at-a-time wire
+    behavior.
     """
 
     name = "queue"
@@ -123,6 +131,7 @@ class QueueBackend:
         metrics: MetricsRegistry | None = None,
         events: Callable[[str, dict], None] | None = None,
         check_fingerprint: bool = True,
+        chunk: int | None = None,
     ) -> None:
         from repro.harness.sweep import resolve_jobs
 
@@ -144,8 +153,12 @@ class QueueBackend:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
         self.check_fingerprint = check_fingerprint
+        self.chunk = chunk
         #: (host, port) actually bound, set while submit() runs.
         self.address: tuple[str, int] | None = None
+        #: Batch size in effect for the current submit() (auto-sized
+        #: per sweep when ``chunk`` is None).
+        self._active_chunk = 1
 
     # -- small helpers -------------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -184,6 +197,7 @@ class QueueBackend:
         sched = CellScheduler(
             len(cells), max_retries=self.max_retries,
             backoff_base=self.backoff_base, cell_timeout=self.cell_timeout)
+        self._active_chunk = self._chunk_for(len(cells))
         values: dict[int, object] = {}
         selector = selectors.DefaultSelector()
         listener = socket.create_server((self.host, self.port), backlog=64)
@@ -274,6 +288,17 @@ class QueueBackend:
         return results
 
     # -- submit() internals --------------------------------------------
+    def _chunk_for(self, n_cells: int) -> int:
+        """Batch size for one sweep: explicit ``chunk`` or auto.
+
+        Auto-sizing keeps at least ~4 batches per worker so one slow
+        batch cannot serialize the tail of the sweep, and caps the
+        batch at 16 so a lost worker never orphans more than that.
+        """
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        return max(1, min(16, n_cells // (4 * max(1, self.workers))))
+
     def _payloads(self, cells):
         import pickle
 
@@ -362,7 +387,7 @@ class QueueBackend:
             else:
                 if sched.complete(conn, index, attempt):
                     values[index] = value
-                    conn.inflight = None
+                    conn.inflight.discard(index)
                     self._count("cells_completed")
                     if progress is not None:
                         progress(sched.resolved_count(), len(cells),
@@ -391,8 +416,7 @@ class QueueBackend:
         outcome = sched.fail(conn, index, attempt, now,
                              failure=failure.retried(sched.attempts(index)),
                              kind=kind)
-        if conn.inflight == index:
-            conn.inflight = None
+        conn.inflight.discard(index)
         if outcome == RETRY:
             self._count("retries")
             self._event("cell-retry", cell=str(cells[index].key), cause=kind,
@@ -403,22 +427,33 @@ class QueueBackend:
                         attempt=attempt)
 
     def _assign(self, conn, sched, cells, now) -> None:
-        """Hand the next ready cell to an idle, handshaken worker."""
-        if not conn.ready or conn.inflight is not None:
+        """Hand the next batch of ready cells to an idle worker.
+
+        A worker is refilled only once its whole batch has resolved:
+        replies stream back per cell, so the broker keeps exact
+        accounting while the wire pays one frame per batch.
+        """
+        if not conn.ready or conn.inflight:
             return
-        assignment = sched.next_cell(conn, now)
-        if assignment is None:
+        batch = sched.next_cells(conn, now, self._active_chunk)
+        if not batch:
             return
-        index, attempt = assignment
-        payload = protocol.pack((cells[index].fn, dict(cells[index].kwargs)))
+        items = [{"id": index, "attempt": attempt,
+                  "payload": protocol.pack((cells[index].fn,
+                                            dict(cells[index].kwargs)))}
+                 for index, attempt in batch]
         try:
-            conn.channel.send({"type": "cell", "id": index,
-                               "attempt": attempt, "payload": payload})
-            conn.inflight = index
+            if len(items) == 1:
+                conn.channel.send({"type": "cell", **items[0]})
+            else:
+                conn.channel.send({"type": "cells", "items": items})
+                self._count("batches")
+            conn.inflight.update(index for index, _attempt in batch)
         except OSError:
             # Worker vanished between select and send; the EOF path
-            # will reap it -- put the cell straight back.
-            sched.fail(conn, index, attempt, now, kind="send-failed")
+            # will reap it -- put the cells straight back.
+            for index, attempt in batch:
+                sched.fail(conn, index, attempt, now, kind="send-failed")
 
     def _assign_ready(self, conns, sched, cells, now) -> None:
         for conn in list(conns.values()):

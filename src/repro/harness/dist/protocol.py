@@ -19,11 +19,17 @@ hello      w -> b    fingerprint, pid, host
 welcome    b -> w    init (base64 pickle of (initializer, initargs) or "")
 reject     b -> w    reason
 cell       b -> w    id, attempt, payload (base64 pickle of (fn, kwargs))
+cells      b -> w    items: [{id, attempt, payload}, ...] (chunked batch)
 result     w -> b    id, attempt, wall, payload (base64 pickle of value)
 error      w -> b    id, attempt, wall, exc_type, exc_msg, traceback
 heartbeat  w -> b    (empty)
 shutdown   b -> w    (empty)
 ========== ========= ====================================================
+
+A ``cells`` batch amortizes one queue round-trip over several cheap
+cells; the worker runs the items serially and streams back one
+``result``/``error`` frame per item, so broker-side accounting (retry,
+stale rejection, progress) stays strictly per-cell.
 
 The ``fingerprint`` in ``hello`` is the generator source fingerprint
 (:func:`repro.core.generator._source_fingerprint`): a worker built from
@@ -49,7 +55,9 @@ import threading
 MAX_LINE_BYTES = 256 * 1024 * 1024
 
 #: Bump when the message vocabulary changes incompatibly.
-PROTOCOL_VERSION = 1
+#: 2: chunked ``cells`` assignments (broker may batch several cells
+#: per frame; workers stream per-cell replies).
+PROTOCOL_VERSION = 2
 
 
 class WireError(RuntimeError):

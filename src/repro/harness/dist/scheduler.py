@@ -115,25 +115,45 @@ class CellScheduler:
         return min(deadlines) if deadlines else None
 
     # -- assignment ----------------------------------------------------
+    def next_cells(self, worker, now: float,
+                   limit: int) -> list[tuple[int, int]]:
+        """Assign up to ``limit`` ready cells to ``worker`` in one batch.
+
+        Returns ``(index, attempt)`` pairs in assignment order (may be
+        empty when nothing is assignable: all cells resolved, in
+        flight, or backoff-gated).  FIFO over ready cells keeps retried
+        cells from starving.  Because the worker runs a batch serially,
+        per-cell deadlines are staggered -- the *i*-th cell of the
+        batch gets ``now + cell_timeout * (i + 1)`` -- so a chunked
+        assignment is not spuriously timed out while earlier cells of
+        the same batch are still running.
+        """
+        assigned: list[tuple[int, int]] = []
+        slot = 0
+        while slot < len(self._pending) and len(assigned) < limit:
+            index = self._pending[slot]
+            cell = self._cells[index]
+            if cell.ready_at > now:
+                slot += 1
+                continue
+            del self._pending[slot]
+            cell.attempts += 1
+            cell.worker = worker
+            cell.deadline = (
+                now + self.cell_timeout * (len(assigned) + 1)
+                if self.cell_timeout is not None else None)
+            self._inflight[index] = worker
+            assigned.append((index, cell.attempts))
+        return assigned
+
     def next_cell(self, worker, now: float) -> tuple[int, int] | None:
-        """Assign the next ready cell to ``worker``.
+        """Assign the single next ready cell to ``worker``.
 
         Returns ``(index, attempt)`` or None when nothing is currently
-        assignable (all cells resolved, in flight, or backoff-gated).
-        FIFO over ready cells keeps retried cells from starving.
+        assignable; equivalent to ``next_cells(worker, now, 1)``.
         """
-        for slot, index in enumerate(self._pending):
-            cell = self._cells[index]
-            if cell.ready_at <= now:
-                del self._pending[slot]
-                cell.attempts += 1
-                cell.worker = worker
-                cell.deadline = (
-                    now + self.cell_timeout
-                    if self.cell_timeout is not None else None)
-                self._inflight[index] = worker
-                return index, cell.attempts
-        return None
+        batch = self.next_cells(worker, now, 1)
+        return batch[0] if batch else None
 
     # -- resolution ----------------------------------------------------
     def _is_current(self, worker, index: int, attempt: int) -> bool:

@@ -1,8 +1,9 @@
 """The distributed sweep worker (``python -m repro worker``).
 
 A worker is deliberately dumb: connect, present the source fingerprint,
-run whatever cells the broker sends, one at a time, until told to shut
-down (or the connection dies).  All scheduling intelligence -- retry,
+run whatever cells the broker sends -- singly (``cell``) or as a
+chunked batch (``cells``), always serially, streaming one reply per
+cell -- until told to shut down (or the connection dies).  All scheduling intelligence -- retry,
 backoff, timeouts, re-queueing -- lives broker-side, so a worker can be
 killed at any instant without losing anything but its current attempt.
 
@@ -107,32 +108,43 @@ def run_worker(address: tuple[str, int], *,
         target=_heartbeat_loop, args=(channel, interval, stop),
         name="repro-worker-heartbeat", daemon=True)
     beat.start()
+
+    def execute(item: dict) -> None:
+        """Run one cell and send its result/error frame (may raise OSError)."""
+        index = item.get("id", -1)
+        attempt = item.get("attempt", 1)
+        t0 = time.perf_counter()
+        try:
+            fn, kwargs = protocol.unpack(item.get("payload", ""))
+            value = fn(**kwargs)
+            reply = {"type": "result", "id": index, "attempt": attempt,
+                     "wall": time.perf_counter() - t0,
+                     "payload": protocol.pack(value)}
+        except Exception as exc:
+            import traceback
+
+            reply = {"type": "error", "id": index, "attempt": attempt,
+                     "wall": time.perf_counter() - t0,
+                     "exc_type": type(exc).__name__,
+                     "exc_msg": str(exc),
+                     "traceback": traceback.format_exc()}
+        channel.send(reply)
+
     try:
         while True:
             message = channel.recv()
             if message is None or message.get("type") == "shutdown":
                 return EXIT_OK
-            if message.get("type") != "cell":
-                continue  # tolerate unknown frames
-            index = message.get("id", -1)
-            attempt = message.get("attempt", 1)
-            t0 = time.perf_counter()
+            kind = message.get("type")
             try:
-                fn, kwargs = protocol.unpack(message.get("payload", ""))
-                value = fn(**kwargs)
-                reply = {"type": "result", "id": index, "attempt": attempt,
-                         "wall": time.perf_counter() - t0,
-                         "payload": protocol.pack(value)}
-            except Exception as exc:
-                import traceback
-
-                reply = {"type": "error", "id": index, "attempt": attempt,
-                         "wall": time.perf_counter() - t0,
-                         "exc_type": type(exc).__name__,
-                         "exc_msg": str(exc),
-                         "traceback": traceback.format_exc()}
-            try:
-                channel.send(reply)
+                if kind == "cell":
+                    execute(message)
+                elif kind == "cells":
+                    # Chunked assignment: run serially, stream one
+                    # reply per cell so the broker accounts per-cell.
+                    for item in message.get("items", []):
+                        execute(item)
+                # Other frames: tolerate (forward compatibility).
             except OSError:
                 return EXIT_ORPHANED
     finally:

@@ -188,7 +188,7 @@ class Dcoh(Node):
         else:
             delay = self.latency
             data = None
-        self.engine.schedule(delay, self._send_grant, addr, txn.requester, grant_kind, data)
+        self.engine.post(delay, self._send_grant, addr, txn.requester, grant_kind, data)
 
     def _send_grant(self, addr: int, requester: str, grant_kind: str, data) -> None:
         self.send(m.Message(grant_kind, addr, self.node_id, requester, data=data))
@@ -229,7 +229,7 @@ class Dcoh(Node):
                     line.sharers.add(msg.src)
             line.state = "M" if line.owner else ("S" if line.sharers else "I")
         done_at = self.memory.access(self.engine.now, is_write=True)
-        self.engine.schedule(
+        self.engine.post(
             done_at - self.engine.now + self.latency,
             self.send,
             m.Message(m.CMP, addr, self.node_id, msg.src),

@@ -131,7 +131,7 @@ class GlobalMesiDir(Node):
     def _grant_with_memory(self, addr, requester, grant, acks) -> None:
         done_at = self.memory.access(self.engine.now, is_write=False)
         data = self.backing.read(addr)
-        self.engine.schedule(
+        self.engine.post(
             done_at - self.engine.now + self.latency,
             self.send,
             m.Message(m.DATA, addr, self.node_id, requester,
@@ -152,7 +152,7 @@ class GlobalMesiDir(Node):
             if msg.kind == m.PUTM and line.owner != sender:
                 pass  # stale writeback: newer owner exists, drop the data
         line.state = "M" if line.owner else ("S" if line.sharers else "I")
-        self.engine.schedule(
+        self.engine.post(
             self.latency, self.send,
             m.Message(m.PUT_ACK, msg.addr, self.node_id, sender),
         )

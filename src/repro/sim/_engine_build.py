@@ -1,0 +1,171 @@
+"""On-demand build/load of the C engine core (``_engine_core.c``).
+
+The compiled engine is an *optional* fast path: this module compiles
+the extension with the system C compiler the first time it is needed,
+caches the shared object keyed by a hash of the source and interpreter
+ABI, and reports failure by returning ``None`` so callers fall back to
+the pure-Python batched engine.  Nothing here is allowed to raise out
+of :func:`load` during normal engine selection.
+
+Knobs:
+
+- ``REPRO_ENGINE_CACHE``: cache directory for built ``.so`` files
+  (default ``~/.cache/repro-engine``).
+- ``CC``: C compiler to use (default: first of ``cc``/``gcc``/``clang``
+  found on PATH).
+
+Run ``python -m repro.sim._engine_build`` to build eagerly and print
+the artifact path (used by CI's advisory build step).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+MODULE_NAME = "_repro_engine_core"
+SOURCE = Path(__file__).with_name("_engine_core.c")
+CACHE_ENV = "REPRO_ENGINE_CACHE"
+
+_loaded_module = None
+_load_attempted = False
+
+
+def cache_dir() -> Path:
+    """Directory holding built engine cores (override: ``REPRO_ENGINE_CACHE``)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+def _compiler() -> str | None:
+    cc = os.environ.get("CC")
+    if cc:
+        return cc if shutil.which(cc) else None
+    for candidate in ("cc", "gcc", "clang"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _artifact_key(cc: str) -> str:
+    """Hash of everything that invalidates a cached build."""
+    h = hashlib.sha256()
+    h.update(SOURCE.read_bytes())
+    h.update(sys.implementation.cache_tag.encode())
+    h.update(cc.encode())
+    return h.hexdigest()[:16]
+
+
+def artifact_path(cc: str) -> Path:
+    """Cache path of the built extension for compiler ``cc``."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return cache_dir() / f"{MODULE_NAME}-{_artifact_key(cc)}{suffix}"
+
+
+def build(verbose: bool = False) -> Path | None:
+    """Compile the extension if needed; return the .so path or ``None``.
+
+    Failures (no compiler, no headers, compile error) are swallowed --
+    optionally echoed to stderr with ``verbose`` -- because the caller
+    always has the pure-Python engine to fall back to.
+    """
+    cc = _compiler()
+    if cc is None:
+        if verbose:
+            print("engine-core build: no C compiler on PATH", file=sys.stderr)
+        return None
+    target = artifact_path(cc)
+    if target.exists():
+        return target
+    include = sysconfig.get_paths()["include"]
+    if not (Path(include) / "Python.h").exists():
+        if verbose:
+            print(f"engine-core build: no Python.h under {include}",
+                  file=sys.stderr)
+        return None
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
+        cmd = [cc, "-O2", "-fPIC", "-shared", f"-I{include}",
+               str(SOURCE), "-o", str(tmp)]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+        if proc.returncode != 0:
+            if verbose:
+                print(f"engine-core build failed ({' '.join(cmd)}):\n"
+                      f"{proc.stderr}", file=sys.stderr)
+            tmp.unlink(missing_ok=True)
+            return None
+        # Atomic publish so concurrent builders never see a torn file.
+        os.replace(tmp, target)
+        return target
+    except OSError as exc:
+        if verbose:
+            print(f"engine-core build failed: {exc}", file=sys.stderr)
+        return None
+    except subprocess.SubprocessError as exc:
+        if verbose:
+            print(f"engine-core build failed: {exc}", file=sys.stderr)
+        return None
+
+
+def load(build_if_missing: bool = True, verbose: bool = False):
+    """Import the compiled core module, building it first if allowed.
+
+    Returns the extension module or ``None``.  The result (including a
+    failed attempt) is cached for the life of the process.
+    """
+    global _loaded_module, _load_attempted
+    if _load_attempted:
+        return _loaded_module
+    _load_attempted = True
+    cc = _compiler()
+    path: Path | None = None
+    if cc is not None:
+        candidate = artifact_path(cc)
+        if candidate.exists():
+            path = candidate
+    if path is None and build_if_missing:
+        path = build(verbose=verbose)
+    if path is None:
+        return None
+    try:
+        spec = importlib.util.spec_from_file_location(MODULE_NAME, path)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except Exception as exc:  # corrupt cache, ABI drift, ...
+        if verbose:
+            print(f"engine-core load failed from {path}: {exc}",
+                  file=sys.stderr)
+        return None
+    _loaded_module = module
+    return module
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: build (or reuse) the core and print its path; 1 on failure."""
+    del argv
+    path = build(verbose=True)
+    if path is None:
+        print("engine core unavailable (pure-Python fallback will be used)")
+        return 1
+    module = load(build_if_missing=False, verbose=True)
+    if module is None:
+        print(f"built {path} but failed to import it")
+        return 1
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,7 +111,7 @@ class L1Controller(Node):
     # ------------------------------------------------------------------
     def core_request(self, kind: str, addr: int, value: int, callback: Callable) -> None:
         """Core-facing entry: perform ``kind`` on ``addr``; answers via ``callback(value)``."""
-        self.engine.schedule(self.hit_latency, self._start, kind, addr, value,
+        self.engine.post(self.hit_latency, self._start, kind, addr, value,
                              callback, self.engine.now)
 
     def _start(self, kind, addr, value, callback, t0) -> None:
@@ -544,7 +544,7 @@ class RccL1(Node):
 
     def core_request(self, kind, addr, value, callback) -> None:
         """Core-facing entry for the RCC cache; answers via ``callback``."""
-        self.engine.schedule(self.hit_latency, self._start, kind, addr, value,
+        self.engine.post(self.hit_latency, self._start, kind, addr, value,
                              callback, self.engine.now)
 
     def _start(self, kind, addr, value, callback, t0) -> None:

@@ -155,9 +155,9 @@ class Network:
         obs = self.obs
         if obs is not None:
             obs.on_message(msg, arrival - now)
-        engine.schedule(arrival - now, self.nodes[dst].handle_message, msg)
+        engine.post_at(arrival, self.nodes[dst].handle_message, msg)
 
     def deliver_local(self, msg: Message, delay: int = 0) -> None:
         """Deliver a message within one component (no link traversal)."""
         dst_node = self.nodes[msg.dst]
-        self.engine.schedule(delay, dst_node.handle_message, msg)
+        self.engine.post(delay, dst_node.handle_message, msg)

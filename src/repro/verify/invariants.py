@@ -240,7 +240,7 @@ def attach_monitor(system, period_ticks: int = 5_000) -> list:
         except ConsistencyViolation as exc:
             violations.append(exc)
         if system.engine.pending():
-            system.engine.schedule(period_ticks, sample)
+            system.engine.post(period_ticks, sample)
 
-    system.engine.schedule(period_ticks, sample)
+    system.engine.post(period_ticks, sample)
     return violations

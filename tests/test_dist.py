@@ -894,3 +894,74 @@ def test_validate_cache_dir_separates_fresh_from_stale(tmp_path):
     (tmp_path / "notes.txt").write_text("ignored")
     assert validate_cache_dir(tmp_path) == (2, 1)
     assert validate_cache_dir(tmp_path / "missing") == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Chunked assignment (protocol v2 `cells` batches).
+# ---------------------------------------------------------------------------
+
+def test_scheduler_next_cells_staggers_batch_deadlines():
+    sched = CellScheduler(5, cell_timeout=10.0)
+    batch = sched.next_cells("w0", now=100.0, limit=3)
+    assert [index for index, _attempt in batch] == [0, 1, 2]
+    assert all(attempt == 1 for _index, attempt in batch)
+    # The i-th cell of a batch runs after its predecessors: deadlines
+    # stagger so a healthy worker is not timed out mid-batch.
+    deadlines = [sched._cells[index].deadline for index, _a in batch]
+    assert deadlines == [110.0, 120.0, 130.0]
+    assert sched.inflight() == {0: "w0", 1: "w0", 2: "w0"}
+    # Remaining cells are still assignable to another worker.
+    assert [i for i, _a in sched.next_cells("w1", now=100.0, limit=9)] == [3, 4]
+
+
+def test_scheduler_next_cells_respects_backoff_and_limit():
+    sched = CellScheduler(3, max_retries=3, backoff_base=4.0)
+    index, attempt = sched.next_cell("w0", now=0.0)
+    assert sched.fail("w0", index, attempt, now=0.0) == RETRY
+    # Cell 0 is backoff-gated: a batch at t=1 must skip it, keep FIFO
+    # among the ready remainder, and honor the limit.
+    batch = sched.next_cells("w1", now=1.0, limit=2)
+    assert [i for i, _a in batch] == [1, 2]
+    assert sched.next_cells("w1", now=1.0, limit=2) == []
+    # Past the backoff gate the retried cell is assignable again.
+    assert sched.next_cells("w2", now=10.0, limit=2) == [(0, 2)]
+
+
+def test_scheduler_next_cell_is_the_limit_one_batch():
+    sched = CellScheduler(2, cell_timeout=7.0)
+    assert sched.next_cell("w0", now=0.0) == (0, 1)
+    assert sched._cells[0].deadline == 7.0  # unchanged single-cell deadline
+
+
+def test_queue_backend_chunk_autosizing():
+    backend = QueueBackend(workers=2)
+    assert backend._chunk_for(8) == 1       # small sweep: per-cell frames
+    assert backend._chunk_for(64) == 8      # 64 cells / (4 * 2 workers)
+    assert backend._chunk_for(10_000) == 16  # capped batch size
+    assert QueueBackend(workers=2, chunk=5)._chunk_for(10_000) == 5
+    assert QueueBackend(workers=2, chunk=0)._chunk_for(64) == 1
+
+
+def test_queue_backend_chunked_assignment_completes():
+    backend = QueueBackend(workers=2, backoff_base=0.01, chunk=3)
+    out = backend.submit(_cells(10))
+    assert out == {i: i * i for i in range(10)}
+    counters = backend.metrics.counter_values("dist.")
+    assert counters["dist.cells_completed"] == 10
+    assert counters["dist.batches"] >= 1  # at least one multi-cell frame
+
+
+def test_queue_backend_chunked_batch_survives_worker_death(tmp_path):
+    """Killing a worker mid-batch orphans *several* cells at once; every
+    one of them must be re-queued and resolved."""
+    cells = [SweepCell(key="victim", fn=_die_once,
+                       kwargs={"path": str(tmp_path / "die"), "value": 9})] \
+        + _cells(7)
+    backend = QueueBackend(workers=2, max_retries=2, backoff_base=0.01,
+                           chunk=4)
+    out = backend.submit(cells)
+    assert out["victim"] == 9
+    assert all(out[i] == i * i for i in range(7))
+    counters = backend.metrics.counter_values("dist.")
+    assert counters["dist.cells_completed"] == 8
+    assert counters["dist.dead_workers"] >= 1

@@ -149,3 +149,133 @@ def test_event_counter_accumulates():
         engine.schedule(i, lambda: None)
     engine.run()
     assert engine.events_executed == 10
+
+# ---------------------------------------------------------------------------
+# Batched-core additions: post(), O(1) pending_live, watchdog cold path.
+# ---------------------------------------------------------------------------
+
+def test_post_is_schedule_without_a_handle():
+    engine = Engine()
+    order = []
+    assert engine.post(20, order.append, "b") is None
+    engine.post(10, order.append, "a")
+    engine.schedule(15, order.append, "mid")
+    engine.run()
+    assert order == ["a", "mid", "b"]
+    with pytest.raises(ValueError):
+        engine.post(-3, order.append, "nope")
+
+
+def test_post_at_schedules_at_absolute_tick():
+    engine = Engine()
+    order = []
+    engine.post(5, lambda: engine.post_at(engine.now + 7, order.append,
+                                          engine.now))
+    engine.run()
+    assert order == [5]
+    assert engine.now == 12
+    with pytest.raises(ValueError):
+        engine.post_at(engine.now - 1, order.append, "past")
+
+
+def test_post_and_schedule_interleave_fifo_on_same_tick():
+    engine = Engine()
+    order = []
+    engine.post(5, order.append, 0)
+    engine.schedule(5, order.append, 1)
+    engine.post(5, order.append, 2)
+    engine.schedule(5, order.append, 3)
+    engine.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_cancel_is_idempotent_and_late_cancel_is_a_noop():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(5, fired.append, "x")
+    event.cancel()
+    event.cancel()  # double-cancel must not skew the live counter
+    assert engine.pending_live() == 0
+    engine.run()
+    assert fired == []
+    done = engine.schedule(5, fired.append, "y")
+    engine.run()
+    assert fired == ["y"]
+    done.cancel()  # already fired: flag only, no counter change
+    assert done.cancelled is True
+    assert engine.pending_live() == 0
+
+
+def test_pending_live_is_counter_based_not_a_scan():
+    """pending_live() must stay O(1): constant work at any queue depth."""
+    engine = Engine()
+    handles = [engine.schedule(i + 1, lambda: None) for i in range(2_000)]
+    for handle in handles[::2]:
+        handle.cancel()
+    assert engine.pending() == 2_000
+    assert engine.pending_live() == 1_000
+    engine.run()
+    assert engine.pending_live() == 0
+    assert engine.events_executed == 1_000
+
+
+def test_callback_exception_leaves_queue_consistent():
+    engine = Engine()
+    fired = []
+
+    def boom():
+        raise RuntimeError("kaboom")
+
+    engine.post(5, fired.append, "before")
+    engine.post(5, boom)
+    engine.post(5, fired.append, "after")
+    engine.post(9, fired.append, "later")
+    with pytest.raises(RuntimeError, match="kaboom"):
+        engine.run()
+    # The raising event was consumed; everything behind it is intact.
+    assert fired == ["before"]
+    assert engine.pending() == 2
+    engine.run()
+    assert fired == ["before", "after", "later"]
+    assert engine.now == 9
+
+
+def test_clean_run_never_builds_a_stall_digest(monkeypatch):
+    """The watchdog digest is a cold path: a clean run -- even a long
+    one against a finite max_events budget -- must not assemble it."""
+    engine = Engine()
+    calls = []
+
+    def counting_digest(max_events=None):
+        calls.append(max_events)
+        return "digest"
+
+    monkeypatch.setattr(engine, "stall_digest", counting_digest,
+                        raising=False)
+    remaining = [20_000]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.post(1, tick)
+
+    engine.post(0, tick)
+    engine.run(max_events=1_000_000)
+    assert engine.events_executed == 20_000
+    assert calls == [], "stall_digest was invoked on a clean run"
+
+
+def test_watchdog_digest_counts_are_exact_at_raise_time():
+    engine = Engine()
+
+    def spin():
+        engine.post(1, spin)
+
+    engine.post(0, spin)
+    with pytest.raises(SimulationLimitError) as exc:
+        engine.run(max_events=123)
+    # The digest is rendered *while raising*; its counters must already
+    # include the partial batch, not trail it by one fold.
+    assert engine.events_executed == 123
+    assert "exceeded 123 events" in str(exc.value)
+    assert "1 pending, 1 live" in str(exc.value)

@@ -1,0 +1,214 @@
+"""Cross-backend engine parity: python (batched) vs legacy vs compiled.
+
+The three ``REPRO_ENGINE`` backends must be *indistinguishable* to the
+simulator: same event order, same results bit for bit, same watchdog
+behavior, same observability rollups.  These tests drive each backend
+through the same scenarios -- randomized schedule/cancel scripts,
+real figure cells (Fig. 9 MCM pairings, Fig. 10 protocol combos), and
+the ``violate_atomicity`` audit path -- and require identical outcomes.
+
+The compiled backend is exercised only when the C core can actually be
+built/loaded on this machine; the pure-Python pair is always compared.
+"""
+
+import pickle
+import random
+
+import pytest
+
+import repro.sim.system as system_module
+from repro.cpu.isa import ThreadProgram, load, rmw, store
+from repro.sim.config import two_cluster_config
+from repro.sim.engine import (
+    BatchedEngine,
+    LegacyEngine,
+    SimulationLimitError,
+    load_compiled_engine_class,
+    resolve_engine_class,
+)
+from repro.sim.system import build_system
+
+BACKENDS = [("python", BatchedEngine), ("legacy", LegacyEngine)]
+_compiled_cls = load_compiled_engine_class()
+if _compiled_cls is not None:
+    BACKENDS.append(("compiled", _compiled_cls))
+
+BACKEND_IDS = [name for name, _cls in BACKENDS]
+BACKEND_CLASSES = [cls for _name, cls in BACKENDS]
+
+
+def _with_engine(monkeypatch, engine_cls):
+    """Route build_system() onto one backend for the current test."""
+    monkeypatch.setattr(system_module, "Engine", engine_cls)
+
+
+# ---------------------------------------------------------------------------
+# Randomized engine-level scripts.
+# ---------------------------------------------------------------------------
+
+def _run_script(engine_cls, seed: int):
+    """Drive one backend through a deterministic random op script.
+
+    Returns the full observable trace: per-event (time, label) firing
+    order, counter values, and pending counts after each run segment.
+    """
+    rng = random.Random(seed)
+    engine = engine_cls()
+    trace = []
+
+    def fire(label):
+        trace.append((engine.now, label))
+
+    handles = []
+    next_label = [0]
+
+    def reschedule(label, fanout):
+        trace.append((engine.now, label))
+        for _ in range(fanout):
+            next_label[0] += 1
+            engine.post(rng.randrange(0, 6), fire, f"r{next_label[0]}")
+
+    for step in range(300):
+        op = rng.random()
+        if op < 0.45:
+            engine.post(rng.randrange(0, 50), fire, f"p{step}")
+        elif op < 0.70:
+            handles.append(engine.schedule(rng.randrange(0, 50), fire,
+                                           f"s{step}"))
+        elif op < 0.80:
+            engine.schedule_at(engine.now + rng.randrange(0, 50), fire,
+                               f"a{step}")
+        elif op < 0.90 and handles:
+            handles.pop(rng.randrange(len(handles))).cancel()
+        else:
+            engine.post(rng.randrange(0, 8), reschedule, f"c{step}",
+                        rng.randrange(0, 3))
+        if step % 60 == 59:
+            engine.run(until=engine.now + rng.randrange(0, 40))
+            trace.append(("segment", engine.now, engine.pending(),
+                          engine.pending_live(), engine.events_executed))
+    engine.run()
+    trace.append(("final", engine.now, engine.pending(),
+                  engine.pending_live(), engine.events_executed))
+    return trace
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 23])
+def test_randomized_scripts_fire_identically(seed):
+    reference = _run_script(LegacyEngine, seed)
+    for name, cls in BACKENDS:
+        if cls is LegacyEngine:
+            continue
+        assert _run_script(cls, seed) == reference, (
+            f"backend {name!r} diverged from legacy on seed {seed}")
+
+
+@pytest.mark.parametrize("engine_cls", BACKEND_CLASSES, ids=BACKEND_IDS)
+def test_watchdog_budget_counts_match_legacy(engine_cls):
+    """Every backend stops on the same event with the same counters."""
+    def build(cls):
+        engine = cls()
+
+        def spin():
+            engine.post(1, spin)
+
+        engine.post(0, spin)
+        return engine
+
+    reference = build(LegacyEngine)
+    with pytest.raises(SimulationLimitError):
+        reference.run(max_events=500)
+
+    engine = build(engine_cls)
+    with pytest.raises(SimulationLimitError) as err:
+        engine.run(max_events=500)
+    assert engine.events_executed == reference.events_executed == 500
+    assert engine.now == reference.now
+    assert engine.pending_live() == reference.pending_live()
+    assert "exceeded 500 events" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Real simulation cells: results must be byte-identical.
+# ---------------------------------------------------------------------------
+
+def _fig_cell(combo, mcms):
+    from repro.harness.experiments import run_workload
+
+    result = run_workload("histogram", combo=combo, mcms=mcms,
+                          scale=0.25, seed=3)
+    return pickle.dumps(result)
+
+
+@pytest.mark.parametrize("combo,mcms", [
+    (("MESI", "CXL", "MESI"), ("WEAK", "WEAK")),   # Fig. 9 ARM row
+    (("MESI", "CXL", "MESI"), ("TSO", "TSO")),     # Fig. 9 TSO row
+    (("MESI", "CXL", "MOESI"), ("WEAK", "TSO")),   # Fig. 10 mixed combo
+], ids=["fig9-arm", "fig9-tso", "fig10-moesi"])
+def test_figure_cells_byte_identical_across_backends(monkeypatch, combo, mcms):
+    blobs = {}
+    for name, cls in BACKENDS:
+        _with_engine(monkeypatch, cls)
+        blobs[name] = _fig_cell(combo, mcms)
+    reference = blobs.pop("legacy")
+    for name, blob in blobs.items():
+        assert blob == reference, (
+            f"backend {name!r} produced a different RunResult for "
+            f"{combo}/{mcms}")
+
+
+def test_engine_facade_reports_selected_backend():
+    name, cls = resolve_engine_class("python")
+    assert (name, cls) == ("python", BatchedEngine)
+    name, cls = resolve_engine_class("legacy")
+    assert (name, cls) == ("legacy", LegacyEngine)
+    with pytest.warns(RuntimeWarning):
+        name, _cls = resolve_engine_class("no-such-backend")
+    assert name == "python"
+
+
+# ---------------------------------------------------------------------------
+# Observability rollups: spans and metrics must agree across backends.
+# ---------------------------------------------------------------------------
+
+def _obs_rollup(violate: bool):
+    """Span/metric rollup of a contended (optionally Rule-II-violating)
+    run; only timing-free fields, so backends must match exactly."""
+    from repro.obs import Observability
+
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO",
+                                mcm_b="TSO", cores_per_cluster=2, seed=0)
+    system = build_system(config, violate_atomicity=violate)
+    obs = Observability().attach(system)
+    programs = [
+        ThreadProgram(f"t{i}", [op for r in range(8) for op in
+                                (rmw(0x7, 1, f"a{r}"),
+                                 store(0x40 + 8 * i, r),
+                                 load(0x7, f"b{r}"))])
+        for i in range(4)
+    ]
+    try:
+        result = system.run_threads(programs, placement=[0, 1, 2, 3])
+        outcome = ("completed", result.exec_time, result.stats.ops)
+    except Exception as exc:
+        outcome = ("raised", type(exc).__name__)
+    recorder = obs.recorder
+    spans = sorted(((s.cat, s.name, s.start,
+                     -1 if s.end is None else s.end)
+                    for s in recorder.spans))
+    counters = obs.registry.counter_values()
+    return outcome, len(spans), spans[:200], counters
+
+
+@pytest.mark.parametrize("violate", [False, True],
+                         ids=["clean", "violate-atomicity"])
+def test_obs_rollups_identical_across_backends(monkeypatch, violate):
+    rollups = {}
+    for name, cls in BACKENDS:
+        _with_engine(monkeypatch, cls)
+        rollups[name] = _obs_rollup(violate)
+    reference = rollups.pop("legacy")
+    for name, rollup in rollups.items():
+        assert rollup == reference, (
+            f"backend {name!r} produced different span/metric rollups "
+            f"(violate={violate})")
