@@ -6,7 +6,7 @@ front line, in the spirit of gem5's SLICC front-end: it audits the SSP
 specs, the synthesized compound FSMs and the translation tables without
 running a single simulated cycle, cheap enough to gate every sweep.
 
-Five passes, each a small class reporting :class:`Finding` values:
+Six passes, each a small class reporting :class:`Finding` values:
 
 - :mod:`~repro.analysis.completeness` (``C0xx``) -- every reachable
   (compound state x request/snoop class) pair is handled; no dead rows.
@@ -16,6 +16,8 @@ Five passes, each a small class reporting :class:`Finding` values:
   diffs clean against the verify layer's independent derivation.
 - :mod:`~repro.analysis.progress` (``P0xx``) -- every transient state
   has a completion path (static livelock candidates otherwise).
+- :mod:`~repro.analysis.deadlock` (``D0xx``) -- no wait-for cycles or
+  stuck terminals among the transient states (static deadlock).
 - :mod:`~repro.analysis.rule2` (``N0xx``) -- the Rule-II nesting
   discipline holds in the tables by construction.
 

@@ -1,0 +1,195 @@
+"""Deadlock pass: transient states must never wait on each other.
+
+The progress pass asks "can this transient *eventually* complete?";
+this pass diagnoses the two static shapes that make the answer no in
+the most dangerous way:
+
+- **D001 (wait-for cycle)** -- a set of transient compound states whose
+  table and completion edges form a cycle with no escape to a stable
+  legal state.  At runtime each state hands the line to the next while
+  Rule II keeps it blocked: the coherence analogue of a lock cycle, and
+  exactly the shape Murphi-style checkers report as deadlock.
+- **D002 (stuck terminal)** -- a transient state with *no* outbound
+  edge at all: its completion target is forbidden (or does not parse)
+  and no translation row is keyed on it, so once entered the line can
+  never move again, whatever messages arrive.
+
+Both rules are strictly static -- they read the translation table the
+generator emitted, never the simulator -- and both are sharper
+sub-diagnoses of P002: a P002 finding says stability is unreachable, a
+D00x finding says *why* (a cycle, or a dead end).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.findings import ERROR, Finding, LintPass
+from repro.analysis.progress import parse_state
+
+
+def _graph(compound):
+    """Build the transient-state graph the progress pass also walks.
+
+    Returns ``(nodes, edges, stable_ok)``: parsed components per state,
+    successor sets (table rows plus legal implied completion edges), and
+    the fully-stable non-forbidden sink states.
+    """
+    nodes = {}
+    edges = {}
+    for row in compound.rows:
+        for state in (row.state, row.next_state):
+            if state not in nodes:
+                nodes[state] = parse_state(state, compound)
+        edges.setdefault(row.state, set()).add(row.next_state)
+    stable_ok = set()
+    for state, (lc, gc) in sorted(nodes.items()):
+        if lc is None or gc is None:
+            continue
+        if lc.stable and gc.stable:
+            if state not in compound.forbidden:
+                stable_ok.add(state)
+            continue
+        target = (lc.target, gc.target)
+        if target in compound.forbidden:
+            continue  # completing would be illegal: no edge
+        edges.setdefault(state, set()).add(target)
+        if target not in nodes:
+            nodes[target] = parse_state(target, compound)
+            if all(c is not None and c.stable for c in nodes[target]):
+                stable_ok.add(target)
+    return nodes, edges, stable_ok
+
+
+def _transients(nodes):
+    """The parseable, not-fully-stable states of the graph."""
+    out = set()
+    for state, (lc, gc) in nodes.items():
+        if lc is not None and gc is not None and not (lc.stable and gc.stable):
+            out.add(state)
+    return out
+
+
+def _sccs(vertices, edges):
+    """Tarjan's strongly connected components, iteratively.
+
+    Only edges between ``vertices`` are followed; components are
+    yielded as sorted tuples in a deterministic order.
+    """
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    components = []
+    counter = [0]
+
+    for root in sorted(vertices):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in vertices:
+                    continue
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[vertex] = min(low[vertex], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[vertex])
+            if low[vertex] == index[vertex]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(tuple(sorted(component)))
+    return sorted(components)
+
+
+def _escapes(component, edges, stable_ok) -> bool:
+    """BFS from the component: does any path reach a stable legal state?"""
+    members = set(component)
+    seen = set(members)
+    frontier = deque(component)
+    while frontier:
+        state = frontier.popleft()
+        if state in stable_ok:
+            return True
+        for nxt in edges.get(state, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+class DeadlockPass(LintPass):
+    """Flag wait-for cycles and stuck terminals among transient states."""
+
+    name = "deadlock"
+    rules = {
+        "D001": "wait-for cycle: transient states cycling through each "
+                "other with no escape to a stable legal state (static "
+                "deadlock)",
+        "D002": "stuck terminal: transient state with no legal completion "
+                "edge and no outgoing translation row",
+    }
+
+    def run(self, compound) -> list:
+        """Build the transient graph; report its cycles and dead ends."""
+        findings = []
+        nodes, edges, stable_ok = _graph(compound)
+        transients = _transients(nodes)
+
+        for component in _sccs(transients, edges):
+            cyclic = (len(component) > 1
+                      or component[0] in edges.get(component[0], ()))
+            if not cyclic or _escapes(component, edges, stable_ok):
+                continue
+            cycle = " <-> ".join("/".join(state) for state in component)
+            findings.append(Finding(
+                "D001", ERROR,
+                f"{compound.name} {component[0]}",
+                f"transient states form a wait-for cycle ({cycle}) with no "
+                "escape to a stable legal state: once entered, the line "
+                "blocks forever (static deadlock)",
+            ))
+
+        for state in sorted(nodes):
+            lc, gc = nodes[state]
+            if (lc is not None and gc is not None
+                    and lc.stable and gc.stable):
+                continue
+            if edges.get(state):
+                continue  # some edge (row or legal completion) leads out
+            if lc is None or gc is None:
+                why = "its annotation does not parse"
+            else:
+                why = (f"its completion target {(lc.target, gc.target)} is "
+                       "forbidden")
+            findings.append(Finding(
+                "D002", ERROR,
+                f"{compound.name} {state}",
+                f"transient state has no outbound edge: {why} and no "
+                "translation row is keyed on it -- once entered, no message "
+                "can ever move the line (stuck terminal)",
+            ))
+        return findings

@@ -149,6 +149,33 @@ def spurious_nesting() -> CompoundProtocol:
     return compound
 
 
+def wait_for_cycle() -> CompoundProtocol:
+    """D001: two transients waiting on each other, no legal completion.
+
+    Both states complete into the forbidden (M, I) -- so neither has a
+    completion edge -- and the injected rows hand the line back and
+    forth between them forever.
+    """
+    compound = fresh_compound()
+    first = ("IM^A", "MI^A")
+    second = ("SM^A", "MI^A")
+    inv = compound.global_.wire["inv"]
+    _replace_row(compound, inv, ("M", "M"), next_state=first)
+    compound.rows.append(TranslationRow(
+        inv, first, None, "Rsp to CXL Dir", second))
+    compound.rows.append(TranslationRow(
+        inv, second, None, "Rsp to CXL Dir", first))
+    return compound
+
+
+def stuck_terminal() -> CompoundProtocol:
+    """D002: a transient with a forbidden completion and no outgoing rows."""
+    compound = fresh_compound()
+    _replace_row(compound, compound.global_.wire["inv"], ("S", "S"),
+                 next_state=("IM^D", "MS^D"))  # completes into (M, S)
+    return compound
+
+
 #: rule id -> builder for the fixture that must trigger it.
 FIXTURES = {
     "C001": unhandled_request_class,
@@ -161,6 +188,8 @@ FIXTURES = {
     "F003": forbidden_reachable_leak,
     "P001": malformed_transient,
     "P002": stall_cycle,
+    "D001": wait_for_cycle,
+    "D002": stuck_terminal,
     "N001": early_origin_effect,
     "N002": nesting_disabled,
     "N003": wrong_completion,

@@ -1,6 +1,6 @@
 """The linter façade: run every pass over protocol artifacts.
 
-:class:`ProtocolLinter` bundles the five static passes and runs them
+:class:`ProtocolLinter` bundles the six static passes and runs them
 over a single :class:`~repro.core.generator.CompoundProtocol`, a named
 pairing, or every registered pairing.  It is the engine behind
 ``python -m repro lint`` and the CI gate; nothing in it ever invokes
@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 
 from repro.analysis.completeness import CompletenessPass
+from repro.analysis.deadlock import DeadlockPass
 from repro.analysis.findings import Report
 from repro.analysis.forbidden import ForbiddenStatePass
 from repro.analysis.progress import ProgressPass
@@ -24,6 +25,7 @@ ALL_PASSES = (
     ReachabilityPass,
     ForbiddenStatePass,
     ProgressPass,
+    DeadlockPass,
     RuleTwoPass,
 )
 

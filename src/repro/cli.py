@@ -19,6 +19,11 @@ exposes the library's main entry points without writing any code:
   (``--strict`` fails on any finding, ``--self-test`` proves every rule
   fires on its injected-defect fixture; exit 0 clean / 1 findings /
   2 internal error).
+- ``check``       exhaustively model-check one litmus program on one
+  combo (``repro.verify.mc``): every delivery order explored, invariants
+  and deadlock-freedom checked, outcomes compared against the axiomatic
+  model; ``--shards N --backend queue:K`` distributes the search.
+  Exit 0 verified / 1 counterexamples or truncated / 2 bad usage.
 - ``list``        list available workloads and litmus tests.
 
 The sweep subcommands (``table4``, ``fig9``, ``fig10``, ``fig11``)
@@ -230,6 +235,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", action="store_true",
                    help="list the rule catalogue and exit")
 
+    p = sub.add_parser(
+        "check",
+        help="exhaustively model-check one combo (sharded explorer)",
+        description="Explore every message delivery order of one litmus "
+                    "program on one protocol combo, checking runtime "
+                    "invariants, deadlock-freedom and outcome soundness "
+                    "against the axiomatic model.  Counterexamples are "
+                    "deduplicated, shrunk to a minimal delivery prefix and "
+                    "replayable (--ce-out).  Exit codes: 0 verified, 1 "
+                    "counterexamples found or search truncated, 2 bad "
+                    "usage or internal error.")
+    p.add_argument("--combo", type=_parse_combo,
+                   default=("MESI", "CXL", "MESI"),
+                   help="protocol combo, L:G:L or L-G-L "
+                        "(default MESI:CXL:MESI)")
+    p.add_argument("--litmus", default="MP", metavar="NAME",
+                   help="builtin litmus program to check (default MP; "
+                        "see `repro list`)")
+    p.add_argument("--mcms", type=_parse_mcms, default=("SC", "SC"),
+                   help="per-cluster memory models (default SC,SC -- "
+                        "exhaustive exploration is about orderings, not "
+                        "timing)")
+    p.add_argument("--depth", type=int, default=0, metavar="N",
+                   help="delivery-path depth cap (0 = unlimited)")
+    p.add_argument("--max-states", type=int, default=200_000, metavar="N",
+                   help="state cap; a capped run exits 1 as inconclusive "
+                        "(0 = unlimited, default 200000)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the state space by fingerprint into N "
+                        "shards (default 1; use >= 2x the worker count "
+                        "for parallelism)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep raw counterexample paths (skip ddmin)")
+    p.add_argument("--ce-out", metavar="DIR", default=None,
+                   help="write counterexample JSON fixtures into DIR")
+    p.add_argument("--json", action="store_true",
+                   help="emit the verdict as JSON")
+    _add_jobs_flag(p)
+    _add_backend_flag(p)
+    _add_progress_flag(p)
+
     p = sub.add_parser("slicc", help="dump a generated compound controller")
     p.add_argument("local", help="local protocol (MESI, MESIF, MOESI, RCC; "
                                  "case-insensitive)")
@@ -301,6 +347,110 @@ def _cmd_lint(args) -> int:
             for rule in missed_rules:
                 print(f"  MISSED: {rule}")
     return 1 if (failed or missed_rules) else 0
+
+
+def _cmd_check(args) -> int:
+    """``repro check``: sharded exhaustive model check (exit 0/1/2)."""
+    import json
+    import os
+
+    from repro.errors import ProtocolError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.verify.axiomatic import enumerate_outcomes
+    from repro.verify.litmus import LITMUS_BY_NAME
+    from repro.verify.mc import ModelChecker, litmus_model
+
+    if args.litmus not in LITMUS_BY_NAME:
+        print(f"unknown litmus test {args.litmus!r}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    test = LITMUS_BY_NAME[args.litmus]
+    try:
+        model = litmus_model(args.litmus, args.combo, args.mcms)
+        thread_mcms = [args.mcms[tid % 2] for tid in range(test.num_threads)]
+        allowed = enumerate_outcomes(
+            list(model.programs), thread_mcms, test.observed_addrs)
+    except (ProtocolError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def report_wave(rounds: int, states: int) -> None:
+        print(f"[mc] wave {rounds}: {states} states", file=sys.stderr)
+
+    metrics = MetricsRegistry()
+    try:
+        checker = ModelChecker(
+            model, shards=args.shards,
+            backend=_resolve_cli_backend(args) or "serial",
+            max_states=args.max_states, max_depth=args.depth,
+            metrics=metrics, shrink=not args.no_shrink)
+        result = checker.run(progress=report_wave if args.progress else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Outcome soundness: every terminal outcome the implementation can
+    # produce must be allowed by the compound axiomatic model.
+    escaped = sorted(result.outcomes - set(allowed))
+    forbidden = sorted(o for o in result.outcomes
+                       if test.matches_forbidden(dict(o)))
+    verified = result.ok and not escaped and not forbidden
+
+    if args.ce_out and result.counterexamples:
+        os.makedirs(args.ce_out, exist_ok=True)
+        combo_tag = "-".join(model.combo)
+        for index, ce in enumerate(result.counterexamples):
+            path = os.path.join(
+                args.ce_out, f"ce-{args.litmus}-{combo_tag}-{index}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(ce.to_json())
+                handle.write("\n")
+
+    if args.json:
+        payload = result.to_dict()
+        payload["litmus"] = args.litmus
+        payload["mcms"] = list(args.mcms)
+        payload["allowed_outcomes"] = len(allowed)
+        payload["escaped_outcomes"] = [
+            [list(pair) for pair in outcome] for outcome in escaped]
+        payload["forbidden_outcomes"] = [
+            [list(pair) for pair in outcome] for outcome in forbidden]
+        payload["verified"] = verified
+        payload["metrics"] = metrics.counter_values("mc.")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if verified else 1
+
+    mark = ("verified" if verified
+            else "INCONCLUSIVE" if result.truncated
+            and not (result.counterexamples or escaped or forbidden)
+            else "FAILED")
+    print(f"{args.litmus} on {'-'.join(model.combo)} "
+          f"({'/'.join(args.mcms)}): {mark}")
+    print(f"  states    : {result.states} ({result.terminals} terminal, "
+          f"depth {result.max_depth}, {result.replays} replays)")
+    print(f"  search    : {result.shards} shard(s), {result.rounds} "
+          f"round(s), backend {result.backend}, {result.elapsed:.2f}s")
+    print(f"  outcomes  : {len(result.outcomes)} observed / "
+          f"{len(allowed)} allowed by the axiomatic model")
+    if result.truncated:
+        cap = (f"{args.max_states} states" if args.max_states else
+               f"depth {args.depth}")
+        print(f"  truncated : search capped at {cap}; "
+              "the verdict proves nothing beyond the cap")
+    for outcome in escaped:
+        print(f"  ESCAPED   : {dict(outcome)} not allowed by the "
+              "axiomatic model")
+    for outcome in forbidden:
+        print(f"  FORBIDDEN : {dict(outcome)} matches the litmus "
+              "forbidden pattern")
+    shown = result.counterexamples[:5]
+    for ce in shown:
+        print(f"  CE        : {ce.describe()}")
+    hidden = len(result.counterexamples) - len(shown)
+    if hidden > 0:
+        print(f"  ... and {hidden} more counterexample(s)"
+              + (f"; fixtures in {args.ce_out}" if args.ce_out else ""))
+    return 0 if verified else 1
 
 
 def _print_cell_rollups(result) -> None:
@@ -499,6 +649,9 @@ def main(argv=None) -> int:
 
     if command == "lint":
         return _cmd_lint(args)
+
+    if command == "check":
+        return _cmd_check(args)
 
     if command == "slicc":
         from repro.core.generator import generate

@@ -243,7 +243,7 @@ class C3Bridge(Node):
 
     def _set_addrs(self, set_idx: int):
         # CacheArray keeps per-set dicts in LRU order (oldest first).
-        return [line.addr for line in self.cache._sets[set_idx].values()]
+        return self.cache.set_addrs(set_idx)
 
     def is_local(self, addr: int) -> bool:
         """Hybrid memory: does this line live in the cluster's own DRAM?"""

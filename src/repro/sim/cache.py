@@ -38,15 +38,26 @@ class CacheArray:
             raise ValueError("cache size must be a multiple of assoc * line size")
         self.assoc = assoc
         self.num_sets = size_bytes // (assoc * LINE_BYTES)
-        # Each set is an LRU-ordered dict: oldest first.
-        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
+        # Each set is an LRU-ordered dict (oldest first), materialized
+        # lazily: realistic configs have thousands of sets while a
+        # litmus-scale run touches a handful of lines, so allocating
+        # every set dict up front (and walking them all in lines())
+        # dominated model-checking replays.
+        self._sets: list[dict[int, CacheLine] | None] = [None] * self.num_sets
+        self._occupied: set[int] = set()  # indices of non-empty sets
 
     def _set_for(self, addr: int) -> dict[int, CacheLine]:
-        return self._sets[addr % self.num_sets]
+        index = addr % self.num_sets
+        cache_set = self._sets[index]
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        return cache_set
 
     def lookup(self, addr: int, touch: bool = True) -> CacheLine | None:
         """Return the line if present; optionally refresh its LRU position."""
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self.num_sets]
+        if cache_set is None:
+            return None
         line = cache_set.get(addr)
         if line is not None and touch:
             del cache_set[addr]
@@ -55,11 +66,13 @@ class CacheArray:
 
     def peek(self, addr: int) -> CacheLine | None:
         """Lookup without LRU side effects."""
-        return self._set_for(addr).get(addr)
+        cache_set = self._sets[addr % self.num_sets]
+        return None if cache_set is None else cache_set.get(addr)
 
     def has_room(self, addr: int) -> bool:
         """Whether ``addr``'s set has a free way."""
-        return len(self._set_for(addr)) < self.assoc
+        cache_set = self._sets[addr % self.num_sets]
+        return cache_set is None or len(cache_set) < self.assoc
 
     def victim_for(self, addr: int, pinned: set[str] | None = None) -> CacheLine | None:
         """Choose the LRU victim in ``addr``'s set.
@@ -68,8 +81,8 @@ class CacheArray:
         (transient states).  Returns ``None`` if the set is full of
         pinned lines.
         """
-        cache_set = self._set_for(addr)
-        if len(cache_set) < self.assoc:
+        cache_set = self._sets[addr % self.num_sets]
+        if cache_set is None or len(cache_set) < self.assoc:
             return None
         pinned = pinned or set()
         for line in cache_set.values():  # oldest first
@@ -86,21 +99,31 @@ class CacheArray:
             raise ValueError(f"set for 0x{addr:x} is full; evict first")
         line = CacheLine(addr=addr, state=state, data=data)
         cache_set[addr] = line
+        self._occupied.add(addr % self.num_sets)
         return line
 
     def remove(self, addr: int) -> CacheLine:
         """Remove and return the line; KeyError if absent."""
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self.num_sets]
         try:
-            return cache_set.pop(addr)
-        except KeyError:
+            line = cache_set.pop(addr)  # type: ignore[union-attr]
+        except (KeyError, AttributeError):
             raise KeyError(f"line 0x{addr:x} not present") from None
+        if not cache_set:
+            self._occupied.discard(addr % self.num_sets)
+        return line
 
     def lines(self) -> Iterator[CacheLine]:
-        """Iterate over every resident line."""
-        for cache_set in self._sets:
-            yield from cache_set.values()
+        """Iterate over every resident line (set order, LRU within)."""
+        sets = self._sets
+        for index in sorted(self._occupied):
+            yield from sets[index].values()  # type: ignore[union-attr]
+
+    def set_addrs(self, set_idx: int) -> list[int]:
+        """Resident line addresses of one set, LRU order (oldest first)."""
+        cache_set = self._sets[set_idx]
+        return [] if cache_set is None else list(cache_set)
 
     def occupancy(self) -> int:
         """Total resident lines across all sets."""
-        return sum(len(s) for s in self._sets)
+        return sum(len(self._sets[i]) for i in self._occupied)  # type: ignore[index]

@@ -15,6 +15,11 @@
 - :mod:`repro.verify.explorer` -- stateless model checking with state
   hashing over network delivery orders (the Murphi substitute), with
   counterexample replay.
+- :mod:`repro.verify.mc` -- the model-checking subsystem grown from the
+  explorer: process-stable canonical fingerprints, partition-by-hash
+  sharding over the :mod:`repro.harness.dist` backends, and
+  deduplicated, shrunk, replayable counterexample traces
+  (``python -m repro check``; see ``docs/VERIFY.md``).
 - :mod:`repro.verify.litmus_format` -- a herd7-inspired textual litmus
   format (parse/serialize), so new tests need no Python.
 """

@@ -71,7 +71,13 @@ class ExplorationResult:
 
     @property
     def ok(self) -> bool:
-        return not self.violations and self.terminals > 0
+        """Clean verdict: no violations, ≥1 terminal, *and* exhaustive.
+
+        A truncated exploration proves nothing about the states it never
+        reached, so it must not report clean -- a capped run that found
+        one terminal used to."""
+        return (not self.violations and self.terminals > 0
+                and not self.truncated)
 
 
 class Explorer:
@@ -222,6 +228,21 @@ def _rec_fp(rec):
 
 
 def _fingerprint(system, network) -> int:
+    return hash(state_parts(system, network))
+
+
+def state_parts(system, network) -> tuple:
+    """Canonical nested-tuple digest of one (system, outbox) state.
+
+    Everything observable that distinguishes two protocol states is
+    flattened to primitives (ints, strings, bools, None) in a fixed
+    order: cache lines, MSHRs, bridge transactions, port pending sets,
+    home directory, core registers/store buffers, and the in-flight
+    messages grouped per FIFO channel *preserving order* within the
+    channel.  Both the legacy DFS fingerprint (``hash``) and the model
+    checker's process-stable fingerprint (:mod:`repro.verify.mc`) are
+    derived from these parts.
+    """
     parts = []
     for cluster in system.clusters:
         for l1 in cluster.l1s:
@@ -314,4 +335,4 @@ def _fingerprint(system, network) -> int:
     parts.append(tuple(sorted(
         (key, tuple(entries)) for key, entries in channels.items()
     )))
-    return hash(tuple(parts))
+    return tuple(parts)

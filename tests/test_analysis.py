@@ -98,6 +98,40 @@ def test_stall_cycle_fixture_has_no_completion_path():
     assert "livelock" in finding.message
 
 
+def test_wait_for_cycle_names_both_states():
+    """D001 reports the full cycle, not just one member."""
+    report = LINTER.lint(fixtures.wait_for_cycle())
+    finding = next(f for f in report.findings if f.rule_id == "D001")
+    assert "IM^A" in finding.message and "SM^A" in finding.message
+    assert "deadlock" in finding.message
+    assert finding.severity == ERROR
+
+
+def test_stuck_terminal_explains_the_dead_end():
+    """D002 says why the state is stuck: forbidden completion, no rows."""
+    report = LINTER.lint(fixtures.stuck_terminal())
+    finding = next(f for f in report.findings if f.rule_id == "D002")
+    assert "forbidden" in finding.message
+    assert "IM^D" in finding.subject
+
+
+def test_deadlock_pass_ignores_transients_with_an_escape():
+    """A transient cycle that CAN complete legally is not a deadlock."""
+    from repro.analysis.deadlock import DeadlockPass
+    from repro.core.translation import TranslationRow
+
+    compound = fixtures.fresh_compound()
+    inv = compound.global_.wire["inv"]
+    # Two transients cycling, but one also completes into legal (I, I).
+    first = ("MI^A", "MI^A")
+    second = ("SI^A", "SI^A")
+    compound.rows.append(TranslationRow(inv, first, None, "stall", second))
+    compound.rows.append(TranslationRow(inv, second, None, "stall", first))
+    report_findings = DeadlockPass().run(compound)
+    assert not [f for f in report_findings if f.rule_id == "D001"], (
+        [f.message for f in report_findings])
+
+
 # ---------------------------------------------------------------------------
 # Result types and helpers.
 # ---------------------------------------------------------------------------
@@ -123,7 +157,7 @@ def test_rule_registry_is_stable_and_documented():
     rules = LINTER.rules()
     assert set(rules) == {
         "C001", "C002", "R001", "R002", "R003", "F001", "F002", "F003",
-        "P001", "P002", "N001", "N002", "N003", "N004"}
+        "P001", "P002", "D001", "D002", "N001", "N002", "N003", "N004"}
     assert all(description for _pass, description in rules.values())
 
 

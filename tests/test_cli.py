@@ -67,7 +67,7 @@ def test_lint_all_pairs_clean(capsys):
 
 def test_lint_strict_self_test(capsys):
     assert main(["lint", "--strict", "--self-test"]) == 0
-    assert "14/14 rules fire" in capsys.readouterr().out
+    assert "16/16 rules fire" in capsys.readouterr().out
 
 
 def test_lint_single_pair_json(capsys):
