@@ -49,12 +49,14 @@ from repro.harness.dist import protocol
 from repro.harness.dist.scheduler import GAVE_UP, RETRY, CellScheduler
 from repro.harness.sweep import CellFailure
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FleetTelemetry
 
 
 class _Conn:
     """Broker-side view of one worker connection."""
 
-    __slots__ = ("channel", "wid", "last_seen", "inflight", "ready", "proc")
+    __slots__ = ("channel", "wid", "last_seen", "inflight", "ready", "proc",
+                 "worker_key", "flight")
 
     def __init__(self, channel, wid: int, now: float) -> None:
         self.channel = channel
@@ -63,6 +65,8 @@ class _Conn:
         self.inflight: set[int] = set()  # cell indices of the active batch
         self.ready = False  # handshake complete
         self.proc = None    # spawned subprocess, if broker-launched
+        self.worker_key = f"w{wid}"   # stable fleet key, refined at hello
+        self.flight: list = []        # latest flight-recorder dump
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<worker#{self.wid} inflight={sorted(self.inflight)}>"
@@ -108,6 +112,13 @@ class QueueBackend:
     (default) auto-sizes the batch to keep at least ~4 batches per
     worker for load balancing; ``1`` restores the one-at-a-time wire
     behavior.
+
+    ``telemetry`` (default on) advertises the telemetry channel in the
+    ``welcome`` handshake; worker metric snapshots, span dumps and
+    flight-recorder rings then accumulate in :attr:`fleet`
+    (:class:`repro.obs.telemetry.FleetTelemetry`) with one slot per
+    worker, and dead/raising cells carry the victim worker's flight
+    dump on their :class:`CellFailure`.
     """
 
     name = "queue"
@@ -132,6 +143,7 @@ class QueueBackend:
         events: Callable[[str, dict], None] | None = None,
         check_fingerprint: bool = True,
         chunk: int | None = None,
+        telemetry: bool = True,
     ) -> None:
         from repro.harness.sweep import resolve_jobs
 
@@ -154,6 +166,14 @@ class QueueBackend:
         self.events = events
         self.check_fingerprint = check_fingerprint
         self.chunk = chunk
+        self.telemetry = telemetry
+        #: Fleet-wide telemetry aggregate (worker snapshots, span dumps,
+        #: flight recorders).  Persists across submit() calls so
+        #: multi-wave model checks accumulate one fleet view.
+        self.fleet = FleetTelemetry()
+        #: Latest flight dump per unresolved cell index, captured when
+        #: the worker running it died (feeds the fallback CellFailure).
+        self._flight_for: dict[int, tuple] = {}
         #: (host, port) actually bound, set while submit() runs.
         self.address: tuple[str, int] | None = None
         #: Batch size in effect for the current submit() (auto-sized
@@ -198,6 +218,7 @@ class QueueBackend:
             len(cells), max_retries=self.max_retries,
             backoff_base=self.backoff_base, cell_timeout=self.cell_timeout)
         self._active_chunk = self._chunk_for(len(cells))
+        self._flight_for = {}  # cell indices are per-submit
         values: dict[int, object] = {}
         selector = selectors.DefaultSelector()
         listener = socket.create_server((self.host, self.port), backlog=64)
@@ -283,7 +304,8 @@ class QueueBackend:
                         exc_type="RuntimeError",
                         message=str(failure or "cell never resolved"),
                         kind="worker died",
-                        attempts=sched.attempts(index))
+                        attempts=sched.attempts(index),
+                        flight=self._flight_for.get(index, ()))
                 results[cell.key] = failure
         return results
 
@@ -363,11 +385,14 @@ class QueueBackend:
             try:
                 conn.channel.send({
                     "type": "welcome", "init": init,
-                    "heartbeat_interval": self.heartbeat_interval})
+                    "heartbeat_interval": self.heartbeat_interval,
+                    "telemetry": bool(self.telemetry)})
             except OSError:
                 self._drop(selector, conns, conn, sched, values, dead=True)
                 return False
             conn.ready = True
+            conn.worker_key = (f"w{conn.wid}:{message.get('host', '?')}"
+                               f":{message.get('pid', '?')}")
             self._count("workers_connected")
             self._event("worker-connected", worker=conn.wid,
                         pid=message.get("pid"), host=message.get("host"))
@@ -402,10 +427,18 @@ class QueueBackend:
                 message=message.get("exc_msg", ""),
                 traceback=message.get("traceback", ""),
                 kind="error",
-                attempts=attempt if attempt > 0 else 1)
+                attempts=attempt if attempt > 0 else 1,
+                flight=tuple(message.get("flight") or conn.flight))
             self._failed_attempt(conn, sched, values, cells, index, attempt,
                                  failure, kind="error")
             self._assign(conn, sched, cells, now)
+            return False
+        if kind == "telemetry":
+            # Cumulative worker snapshot + incremental spans + flight.
+            if message.get("flight"):
+                conn.flight = list(message["flight"])
+            if self.telemetry:
+                self.fleet.update(conn.worker_key, message)
             return False
         # Unknown message type: tolerate (forward compatibility).
         return False
@@ -438,7 +471,9 @@ class QueueBackend:
         batch = sched.next_cells(conn, now, self._active_chunk)
         if not batch:
             return
+        # The cell key doubles as the trace ID in stitched fleet traces.
         items = [{"id": index, "attempt": attempt,
+                  "key": str(cells[index].key),
                   "payload": protocol.pack((cells[index].fn,
                                             dict(cells[index].kwargs)))}
                  for index, attempt in batch]
@@ -476,6 +511,9 @@ class QueueBackend:
             self._count("requeued", len(requeued))
         for index in gave_up:
             self._count("cells_failed")
+            # Preserve the victim's last flight dump for the fallback
+            # CellFailure this cell will resolve to.
+            self._flight_for[index] = tuple(conn.flight)
 
     def _expire_cells(self, selector, conns, sched, values, cells, now,
                       progress) -> None:
@@ -487,7 +525,8 @@ class QueueBackend:
             failure = CellFailure(
                 exc_type="TimeoutError",
                 message=f"cell exceeded {self.cell_timeout}s",
-                kind="timeout", attempts=attempt)
+                kind="timeout", attempts=attempt,
+                flight=tuple(worker.flight))
             self._failed_attempt(worker, sched, values, cells, index,
                                  attempt, failure, kind="timeout")
             # The worker is wedged on the expired cell: cut it loose.

@@ -15,14 +15,16 @@ Message vocabulary (``type`` field):
 ========== ========= ====================================================
 type       direction fields
 ========== ========= ====================================================
-hello      w -> b    fingerprint, pid, host
-welcome    b -> w    init (base64 pickle of (initializer, initargs) or "")
+hello      w -> b    fingerprint, pid, host, version
+welcome    b -> w    init (base64 pickle of (initializer, initargs) or ""),
+                     heartbeat_interval, telemetry (bool)
 reject     b -> w    reason
-cell       b -> w    id, attempt, payload (base64 pickle of (fn, kwargs))
-cells      b -> w    items: [{id, attempt, payload}, ...] (chunked batch)
+cell       b -> w    id, attempt, key, payload (base64 pickle of (fn, kwargs))
+cells      b -> w    items: [{id, attempt, key, payload}, ...] (chunked batch)
 result     w -> b    id, attempt, wall, payload (base64 pickle of value)
-error      w -> b    id, attempt, wall, exc_type, exc_msg, traceback
+error      w -> b    id, attempt, wall, exc_type, exc_msg, traceback, flight
 heartbeat  w -> b    (empty)
+telemetry  w -> b    seq, flight, [snapshot, spans] (see below)
 shutdown   b -> w    (empty)
 ========== ========= ====================================================
 
@@ -30,6 +32,19 @@ A ``cells`` batch amortizes one queue round-trip over several cheap
 cells; the worker runs the items serially and streams back one
 ``result``/``error`` frame per item, so broker-side accounting (retry,
 stale rejection, progress) stays strictly per-cell.
+
+The ``telemetry`` frame (:mod:`repro.obs.telemetry`) piggybacks on the
+existing flow: a *light* frame (``flight`` ring-buffer dump only) is
+sent at cell start so a SIGKILL mid-cell still leaves postmortem
+evidence broker-side, and a *full* frame (cumulative
+``MetricsRegistry`` ``snapshot`` + the span dicts accepted since the
+last full frame + ``flight``) is sent immediately before each
+``result``/``error`` frame and from the heartbeat thread when dirty.
+Snapshots are cumulative, so the broker *replaces* each worker's slot
+-- aggregation is idempotent under re-send.  Both sides tolerate
+unknown frame types, so v2 peers interoperate (they just carry no
+telemetry); the cell ``key`` doubles as the trace ID for stitched
+fleet traces.
 
 The ``fingerprint`` in ``hello`` is the generator source fingerprint
 (:func:`repro.core.generator._source_fingerprint`): a worker built from
@@ -57,7 +72,11 @@ MAX_LINE_BYTES = 256 * 1024 * 1024
 #: Bump when the message vocabulary changes incompatibly.
 #: 2: chunked ``cells`` assignments (broker may batch several cells
 #: per frame; workers stream per-cell replies).
-PROTOCOL_VERSION = 2
+#: 3: ``telemetry`` frames (worker metric snapshots, span dumps and
+#: flight-recorder rings); ``welcome.telemetry`` opt-in flag; cell
+#: ``key`` trace IDs; ``error.flight`` postmortem dumps.  Backward
+#: compatible in both directions (unknown frames are tolerated).
+PROTOCOL_VERSION = 3
 
 
 class WireError(RuntimeError):

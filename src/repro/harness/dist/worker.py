@@ -14,6 +14,14 @@ what lets the broker tell "slow cell on a live worker" apart from
 "worker is gone".  When the heartbeat thread finds the socket dead, the
 whole process exits immediately -- a worker whose broker vanished has
 nothing left to do, even mid-cell.
+
+Telemetry (:mod:`repro.obs.telemetry`): when the broker's ``welcome``
+carries ``telemetry: true``, the worker enables the process-global
+:class:`~repro.obs.telemetry.Telemetry` collector and ships frames at
+three points -- a light flight-only frame at cell start (SIGKILL
+evidence), a full frame right before every ``result``/``error`` (so
+the broker's fleet view is exact once the sweep resolves), and a full
+frame from the heartbeat thread whenever state is dirty (long cells).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import threading
 import time
 
 from repro.harness.dist import protocol
+from repro.obs.telemetry import telemetry
 
 #: Exit codes (also the CLI contract of ``repro worker``).
 EXIT_OK = 0
@@ -45,16 +54,22 @@ def parse_address(text: str) -> tuple[str, int]:
 
 
 def _heartbeat_loop(channel: protocol.LineChannel, interval: float,
-                    stop: threading.Event) -> None:
+                    stop: threading.Event, tele=None) -> None:
     """Side-thread keepalive; exits the process when the broker is gone.
 
     ``os._exit`` (not ``sys.exit``) because the main thread may be deep
     inside a long-running cell and must not keep burning CPU for a
-    broker that will never collect the result.
+    broker that will never collect the result.  With telemetry enabled
+    a full frame piggybacks on the beat whenever worker state is dirty,
+    so long cells still stream their metrics home periodically.
     """
     while not stop.wait(interval):
         try:
             channel.send({"type": "heartbeat"})
+            if tele is not None:
+                frame = tele.frame()
+                if frame is not None:
+                    channel.send(frame)
         except OSError:
             os._exit(EXIT_ORPHANED)
 
@@ -102,10 +117,16 @@ def run_worker(address: tuple[str, int], *,
         initializer, initargs = protocol.unpack(init)
         initializer(*initargs)
 
+    tele = None
+    if welcome.get("telemetry"):
+        tele = telemetry()
+        tele.enable(worker=f"{socket.gethostname()}:{os.getpid()}")
+        tele.flight.record("connect", broker=f"{address[0]}:{address[1]}")
+
     stop = threading.Event()
     interval = float(welcome.get("heartbeat_interval", heartbeat_interval))
     beat = threading.Thread(
-        target=_heartbeat_loop, args=(channel, interval, stop),
+        target=_heartbeat_loop, args=(channel, interval, stop, tele),
         name="repro-worker-heartbeat", daemon=True)
     beat.start()
 
@@ -113,21 +134,40 @@ def run_worker(address: tuple[str, int], *,
         """Run one cell and send its result/error frame (may raise OSError)."""
         index = item.get("id", -1)
         attempt = item.get("attempt", 1)
+        if tele is not None:
+            tele.cell_start(index, key=item.get("key"), attempt=attempt)
+            light = tele.frame(full=False)
+            if light is not None:
+                channel.send(light)
         t0 = time.perf_counter()
         try:
             fn, kwargs = protocol.unpack(item.get("payload", ""))
             value = fn(**kwargs)
+            wall = time.perf_counter() - t0
             reply = {"type": "result", "id": index, "attempt": attempt,
-                     "wall": time.perf_counter() - t0,
+                     "wall": wall,
                      "payload": protocol.pack(value)}
+            if tele is not None:
+                tele.cell_finish(True, wall)
         except Exception as exc:
             import traceback
 
+            wall = time.perf_counter() - t0
             reply = {"type": "error", "id": index, "attempt": attempt,
-                     "wall": time.perf_counter() - t0,
+                     "wall": wall,
                      "exc_type": type(exc).__name__,
                      "exc_msg": str(exc),
                      "traceback": traceback.format_exc()}
+            if tele is not None:
+                tele.cell_finish(False, wall, error=str(exc))
+                reply["flight"] = tele.flight_dump()
+        if tele is not None:
+            # The full frame ships on the same stream *before* the
+            # reply, so the broker's fleet view is exact the moment
+            # the last cell resolves.
+            frame = tele.frame()
+            if frame is not None:
+                channel.send(frame)
         channel.send(reply)
 
     try:

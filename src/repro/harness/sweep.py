@@ -103,6 +103,10 @@ class CellFailure:
     ``"error"`` (the cell raised), ``"timeout"`` (queue backend gave up
     waiting) or ``"worker died"`` (orphaned past the retry budget).
     ``attempts`` counts how many times the cell was tried in total.
+    ``flight`` is the victim worker's flight-recorder dump (a tuple of
+    plain event dicts, see :mod:`repro.obs.flight`) when the queue
+    backend had one -- the postmortem for cells whose worker raised,
+    timed out or was killed outright.
     """
 
     exc_type: str
@@ -110,6 +114,7 @@ class CellFailure:
     traceback: str = ""
     kind: str = "error"
     attempts: int = 1
+    flight: tuple = ()
 
     @classmethod
     def from_exception(cls, exc: BaseException, kind: str = "error",
@@ -127,7 +132,7 @@ class CellFailure:
     def retried(self, attempts: int) -> "CellFailure":
         """Copy of this failure with the final attempt count stamped."""
         return CellFailure(self.exc_type, self.message, self.traceback,
-                           self.kind, attempts)
+                           self.kind, attempts, self.flight)
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.exc_type}: {self.message}"

@@ -16,12 +16,15 @@ indirection.  See ``docs/OBSERVABILITY.md`` for the measured overhead.
 from __future__ import annotations
 
 from repro.obs.export import (
+    TraceValidationError,
     chrome_trace,
     compact_obs,
     summarize_obs,
     validate_chrome_trace,
     write_chrome_trace,
+    write_trace_file,
 )
+from repro.obs.flight import FlightRecorder, flight_recorder
 from repro.obs.metrics import (
     Counter,
     Distribution,
@@ -31,6 +34,12 @@ from repro.obs.metrics import (
     collect_system_metrics,
 )
 from repro.obs.spans import CROSSING_CATS, NestingViolation, Span, SpanRecorder
+from repro.obs.telemetry import (
+    FleetTelemetry,
+    Telemetry,
+    stitch_chrome_trace,
+    telemetry,
+)
 
 __all__ = [
     "Observability",
@@ -47,9 +56,17 @@ __all__ = [
     "collect_system_metrics",
     "chrome_trace",
     "write_chrome_trace",
+    "write_trace_file",
+    "TraceValidationError",
     "validate_chrome_trace",
     "summarize_obs",
     "compact_obs",
+    "FlightRecorder",
+    "flight_recorder",
+    "Telemetry",
+    "FleetTelemetry",
+    "telemetry",
+    "stitch_chrome_trace",
 ]
 
 

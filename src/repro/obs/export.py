@@ -39,6 +39,13 @@ def chrome_trace(recorder, tracer=None) -> dict:
 
     events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
                "args": {"name": "c3-repro simulation"}}]
+    if recorder.dropped:
+        events.append({
+            "name": "span_truncation", "ph": "M", "pid": 1, "tid": 0,
+            "args": {"dropped": recorder.dropped,
+                     "note": (f"[truncated: {recorder.dropped} span(s) "
+                              f"dropped at capacity {recorder.capacity}]")},
+        })
     for node, tid in tids.items():
         events.append({"name": "thread_name", "ph": "M", "pid": 1,
                        "tid": tid, "args": {"name": node}})
@@ -83,12 +90,43 @@ def chrome_trace(recorder, tracer=None) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
-def write_chrome_trace(path, recorder, tracer=None) -> int:
-    """Serialize :func:`chrome_trace` to ``path``; return event count."""
-    trace = chrome_trace(recorder, tracer)
+class TraceValidationError(RuntimeError):
+    """A trace failed :func:`validate_chrome_trace` before writing.
+
+    Carries the individual schema ``problems`` so CLI surfaces can print
+    a diagnostic and exit nonzero instead of shipping a broken file.
+    """
+
+    def __init__(self, path, problems: list[str]) -> None:
+        super().__init__(f"{path}: trace failed schema validation "
+                         f"({len(problems)} problem(s))")
+        self.path = path
+        self.problems = problems
+
+
+def write_trace_file(path, trace: dict, validate: bool = True) -> int:
+    """Write an already-built trace dict to ``path``; return event count.
+
+    Every writer (single-process export and the fleet stitcher alike)
+    funnels through here so that, by default, no invalid trace ever
+    reaches disk: schema problems raise :class:`TraceValidationError`.
+    """
+    if validate:
+        problems = validate_chrome_trace(trace)
+        if problems:
+            raise TraceValidationError(path, problems)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh)
     return len(trace["traceEvents"])
+
+
+def write_chrome_trace(path, recorder, tracer=None, validate: bool = True) -> int:
+    """Serialize :func:`chrome_trace` to ``path``; return event count.
+
+    Validates the built trace first (raising
+    :class:`TraceValidationError`) unless ``validate=False``.
+    """
+    return write_trace_file(path, chrome_trace(recorder, tracer), validate)
 
 
 def validate_chrome_trace(obj) -> list[str]:
@@ -140,6 +178,11 @@ def summarize_obs(dump: dict) -> str:
         lines.append(f"spans: {spans['total']} recorded "
                      f"({spans['open']} open, {spans['dropped']} dropped) "
                      f"by cat {spans['by_cat']}")
+        if spans["dropped"]:
+            offered = spans["total"] + spans["dropped"]
+            lines.append(f"spans TRUNCATED at capacity: {spans['dropped']} "
+                         f"dropped ({_pct(spans['dropped'], offered)} of "
+                         f"{offered} offered)")
         lines.append(f"latency attribution over {att['ops']} ops: "
                      f"origin {_pct(att['origin_ticks'], total)}, "
                      f"bridged {_pct(att['bridged_ticks'], total)} "
@@ -177,6 +220,8 @@ def compact_obs(dump: dict) -> str:
         att = spans["attribution"]
         parts.append(f"ops={att['ops']}")
         parts.append(f"bridged={_pct(att['bridged_ticks'], att['total_ticks'])}")
+        if spans.get("dropped"):
+            parts.append(f"spans_dropped={spans['dropped']}")
     rule2 = dump.get("rule2")
     if rule2 is not None:
         parts.append("rule2=clean" if not rule2["violations"]

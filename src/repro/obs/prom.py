@@ -1,0 +1,226 @@
+"""Prometheus text exposition for metric snapshots + a stdlib server.
+
+:func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` (or a live registry) in
+the Prometheus text exposition format (version 0.0.4):
+
+- counters become ``<prefix>_<path>_total`` samples (``TYPE counter``);
+- distributions become a ``summary`` family (``_count``/``_sum``) plus
+  ``_min``/``_max`` gauges;
+- histograms become a ``histogram`` family with cumulative
+  ``_bucket{le=...}`` samples and a ``_count``.
+
+:func:`fleet_to_prometheus` adds the per-worker breakdown: the merged
+fleet snapshot is exposed unlabeled and each worker's snapshot rides
+the *same* metric families with a ``worker`` label, so one scrape sees
+both totals and the split.
+
+``python -m repro metrics-server`` wraps :func:`make_metrics_server`, a
+``http.server``-only (no third-party deps) HTTP server exposing
+``/metrics`` and ``/healthz`` -- the precursor the ROADMAP's
+coherence-as-a-service item needs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"        # metric name
+    r"(\{[^{}]*\})?"                       # optional label set
+    r" (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)$")
+
+
+def _metric_name(path: str, prefix: str) -> str:
+    """Map a dotted metric path to a legal Prometheus metric name."""
+    name = f"{prefix}_{path}" if prefix else path
+    return _NAME_BAD.sub("_", name.replace(".", "_"))
+
+
+def _label_str(labels: dict | None) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", r"\\").replace('"', r"\"")
+        value = value.replace("\n", r"\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt_value(value) -> str:
+    """Format a sample value (integers stay exact)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _family(families: dict, name: str, kind: str) -> dict:
+    """Get-or-create one metric family (TYPE emitted once per family)."""
+    fam = families.get(name)
+    if fam is None:
+        fam = families[name] = {"type": kind, "samples": []}
+    return fam
+
+
+def _collect(families: dict, snapshot: dict, labels: dict | None,
+             prefix: str) -> None:
+    """Fold one snapshot's metrics into the family table."""
+    for path in sorted(snapshot):
+        data = snapshot[path]
+        kind = data.get("type")
+        base = _metric_name(path, prefix)
+        if kind == "counter":
+            fam = _family(families, base + "_total", "counter")
+            fam["samples"].append((base + "_total", labels,
+                                   data.get("value", 0)))
+        elif kind == "distribution":
+            fam = _family(families, base, "summary")
+            fam["samples"].append((base + "_count", labels,
+                                   data.get("count", 0)))
+            fam["samples"].append((base + "_sum", labels,
+                                   data.get("total", 0)))
+            for suffix, key in (("_min", "min"), ("_max", "max")):
+                value = data.get(key)
+                if value is not None:
+                    gauge = _family(families, base + suffix, "gauge")
+                    gauge["samples"].append((base + suffix, labels, value))
+        elif kind == "histogram":
+            fam = _family(families, base, "histogram")
+            cumulative = 0
+            buckets = data.get("buckets", [])
+            for edge, count in zip(data.get("edges", []), buckets):
+                cumulative += count
+                bucket_labels = dict(labels or {})
+                bucket_labels["le"] = str(edge)
+                fam["samples"].append((base + "_bucket", bucket_labels,
+                                       cumulative))
+            total = sum(buckets)
+            inf_labels = dict(labels or {})
+            inf_labels["le"] = "+Inf"
+            fam["samples"].append((base + "_bucket", inf_labels, total))
+            fam["samples"].append((base + "_count", labels, total))
+
+
+def _render(families: dict) -> str:
+    """Serialize the family table to exposition text."""
+    lines = []
+    for name, fam in families.items():
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for sample, labels, value in fam["samples"]:
+            lines.append(f"{sample}{_label_str(labels)} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_prometheus(snapshot, prefix: str = "repro",
+                  labels: dict | None = None) -> str:
+    """Render one snapshot (or live registry) as exposition text."""
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    families: dict = {}
+    _collect(families, snapshot, labels, prefix)
+    return _render(families)
+
+
+def fleet_to_prometheus(fleet_snapshot: dict, per_worker: dict | None = None,
+                        prefix: str = "repro") -> str:
+    """Render fleet totals plus a ``worker``-labeled per-worker split."""
+    families: dict = {}
+    _collect(families, fleet_snapshot, None, prefix)
+    for worker in sorted(per_worker or {}):
+        _collect(families, per_worker[worker], {"worker": worker}, prefix)
+    return _render(families)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse exposition text back to ``{name{labels}: value}``.
+
+    Strict enough to act as the CI schema gate: every non-comment,
+    non-blank line must be a well-formed sample or :class:`ValueError`
+    is raised.
+    """
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = float(
+            value.replace("Inf", "inf"))
+    return samples
+
+
+def load_snapshot_file(path: str) -> tuple[dict, dict]:
+    """Load ``(snapshot, per_worker)`` from any of the JSON shapes we write.
+
+    Accepts a fleet telemetry dump (``{"fleet": ..., "per_worker": ...}``),
+    an observability dump (``{"metrics": ...}``), or a bare registry
+    snapshot.
+    """
+    with open(path, encoding="utf-8") as fh:
+        obj = json.load(fh)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "fleet" in obj:
+        return obj.get("fleet") or {}, obj.get("per_worker") or {}
+    metrics = obj.get("metrics")
+    if isinstance(metrics, dict):
+        return metrics, {}
+    return obj, {}
+
+
+def make_metrics_server(host: str, port: int,
+                        source: Callable[[], str]) -> ThreadingHTTPServer:
+    """Build (without starting) the ``/metrics`` + ``/healthz`` server.
+
+    ``source`` is called per ``/metrics`` request and must return
+    exposition text, so file-backed sources pick up updates without a
+    restart.  Returned server is a stdlib ``ThreadingHTTPServer``; call
+    ``serve_forever()`` (and ``server_close()``) on it.
+    """
+
+    class _Handler(BaseHTTPRequestHandler):
+        """Request handler for the two fixed endpoints."""
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            """Serve ``/metrics`` (exposition) and ``/healthz`` (JSON)."""
+            if self.path == "/metrics":
+                try:
+                    body = source().encode("utf-8")
+                except Exception as exc:
+                    self._reply(500, f"# metrics source failed: {exc}\n"
+                                .encode("utf-8"),
+                                "text/plain; charset=utf-8")
+                    return
+                self._reply(200, body,
+                            "text/plain; version=0.0.4; charset=utf-8")
+            elif self.path == "/healthz":
+                self._reply(200, b'{"status": "ok"}\n', "application/json")
+            else:
+                self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+
+        def _reply(self, code: int, body: bytes, ctype: str) -> None:
+            """Send one complete response."""
+            self.send_response(code)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+            """Suppress per-request stderr logging."""
+
+    return ThreadingHTTPServer((host, port), _Handler)

@@ -1,0 +1,328 @@
+"""Fleet-wide telemetry: worker-side collection, broker-side stitching.
+
+PR 3's :mod:`repro.obs` sees deeply inside *one* process; the
+distributed backends (queue/SSH fleets, sharded model-checker waves)
+scatter that visibility across worker processes that die with their
+metrics.  This module is the plumbing that ships it all home:
+
+- :class:`Telemetry` -- the per-process singleton a dist worker feeds.
+  It owns a :class:`~repro.obs.metrics.MetricsRegistry` (``worker.*``
+  counters plus everything absorbed from instrumented runs), a bounded
+  :class:`~repro.obs.flight.FlightRecorder`, and a queue of normalized
+  span dicts.  :meth:`Telemetry.frame` drains the lot into a
+  ``telemetry`` wire frame (see :mod:`repro.harness.dist.protocol`).
+- :class:`FleetTelemetry` -- the broker-side aggregate.  Snapshots are
+  *cumulative per worker*, so :meth:`FleetTelemetry.update` replaces
+  that worker's slot (idempotent under re-send); spans accumulate; the
+  latest flight dump is retained for postmortems.
+- :func:`stitch_chrome_trace` -- merges every worker's span dump into
+  one Perfetto-loadable Chrome trace with one track group (pid) per
+  worker and one lane (tid) per simulated node.
+
+Everything that crosses the wire is plain JSON types.  The singleton is
+disabled by default and every hook no-ops when disabled, so
+single-process runs (and the obs-off overhead gate) pay one attribute
+test at most.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.config import TICKS_PER_NS
+
+#: Simulated ticks (ps) per Chrome-trace microsecond.
+_TICKS_PER_US = TICKS_PER_NS * 1000
+
+
+class Telemetry:
+    """Per-process telemetry collector for one dist worker.
+
+    Thread-safe: the worker's heartbeat thread drains frames while the
+    main thread runs cells and absorbs observability dumps.
+    ``span_budget`` bounds the total number of *simulation* spans a
+    worker ships over its lifetime (cell-level spans are one per cell
+    and never dropped); the overflow is counted in the
+    ``worker.spans_dropped`` counter so the stitcher can flag
+    truncation.
+    """
+
+    def __init__(self, span_budget: int = 4000,
+                 flight_capacity: int = 128) -> None:
+        self.span_budget = span_budget
+        self.enabled = False
+        self.worker: str | None = None
+        self.registry = MetricsRegistry()
+        self.flight = FlightRecorder(flight_capacity)
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []   # normalized, not yet shipped
+        self._span_total = 0           # sim spans ever accepted (budget)
+        self._trace: str | None = None
+        self._cell_wall_us = 0.0
+        self._dirty = False
+        self._seq = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self, worker: str | None = None) -> None:
+        """Start collecting; ``worker`` labels flight/trace output."""
+        with self._lock:
+            self.enabled = True
+            if worker is not None:
+                self.worker = worker
+
+    def disable(self) -> None:
+        """Stop collecting (hooks become no-ops again)."""
+        with self._lock:
+            self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected state (tests and fresh worker loops)."""
+        with self._lock:
+            self.registry = MetricsRegistry()
+            self.flight.clear()
+            self._spans = []
+            self._span_total = 0
+            self._trace = None
+            self._cell_wall_us = 0.0
+            self._dirty = False
+
+    # -- worker-loop hooks -------------------------------------------------
+    def cell_start(self, cell_id, key=None, attempt: int = 1) -> None:
+        """Mark the start of one cell; ``key`` becomes the trace ID."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._trace = str(key) if key is not None else f"cell-{cell_id}"
+            self._cell_wall_us = time.time() * 1e6
+            self.flight.record("cell-start", cell=cell_id,
+                               trace=self._trace, attempt=attempt)
+
+    def cell_finish(self, ok: bool, wall: float, error: str = "") -> None:
+        """Mark the end of the current cell; emits the cell-level span."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.registry.counter("worker.cells_run").add()
+            self.registry.counter(
+                "worker.cells_ok" if ok else "worker.cells_error").add()
+            self.registry.distribution("worker.cell_seconds",
+                                       unit="s").record(wall)
+            trace = self._trace or "cell"
+            start = self._cell_wall_us or time.time() * 1e6 - wall * 1e6
+            self._spans.append({
+                "name": trace, "cat": "cell", "node": "cells",
+                "ts": start, "dur": max(wall * 1e6, 1.0),
+                "args": {"trace": trace, "ok": ok},
+            })
+            if ok:
+                self.flight.record("cell-ok", trace=trace,
+                                   wall=round(wall, 4))
+            else:
+                self.flight.record("cell-error", trace=trace,
+                                   wall=round(wall, 4), error=error[:200])
+            self._dirty = True
+
+    def absorb_run(self, observability) -> None:
+        """Fold one finished run's observability into the worker state.
+
+        Called by :func:`repro.harness.experiments.run_workload` after
+        ``merge_obs``; merges the run's metric snapshot into the worker
+        registry and converts its closed simulation spans to wall-clock
+        span dicts anchored at the current cell's start, within the
+        remaining span budget.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            dump = observability.finalize()
+            metrics = dump.get("metrics")
+            if metrics:
+                self.registry.merge(metrics)
+            taken = dropped = 0
+            recorder = observability.recorder
+            if recorder is not None:
+                base = self._cell_wall_us or time.time() * 1e6
+                trace = self._trace or "run"
+                for span in recorder.spans:
+                    if span.end is None:
+                        continue
+                    if self._span_total >= self.span_budget:
+                        dropped += 1
+                        continue
+                    self._span_total += 1
+                    taken += 1
+                    self._spans.append({
+                        "name": span.name, "cat": span.cat,
+                        "node": span.node,
+                        "ts": base + span.start / _TICKS_PER_US,
+                        "dur": max(span.end - span.start, 1) / _TICKS_PER_US,
+                        "args": {"addr": f"0x{span.addr:x}", "trace": trace},
+                    })
+                if recorder.dropped:
+                    self.registry.counter(
+                        "worker.spans_sim_dropped").add(recorder.dropped)
+            if taken:
+                self.registry.counter("worker.spans_absorbed").add(taken)
+            if dropped:
+                self.registry.counter("worker.spans_dropped").add(dropped)
+            self.flight.record("obs-absorb", spans=taken, dropped=dropped,
+                               trace=self._trace)
+            self._dirty = True
+
+    # -- frame production --------------------------------------------------
+    def frame(self, full: bool = True) -> dict | None:
+        """Build the next ``telemetry`` wire frame (or None when clean).
+
+        Full frames carry the cumulative registry snapshot plus the
+        spans accepted since the previous full frame; light frames
+        (``full=False``, sent at cell start) carry only the flight dump
+        so a SIGKILL mid-cell still leaves evidence broker-side.
+        """
+        with self._lock:
+            if not self.enabled:
+                return None
+            if not full:
+                self._seq += 1
+                return {"type": "telemetry", "seq": self._seq,
+                        "flight": self.flight.dump()}
+            if not self._dirty and not self._spans:
+                return None
+            spans, self._spans = self._spans, []
+            self._dirty = False
+            self._seq += 1
+            return {"type": "telemetry", "seq": self._seq,
+                    "snapshot": self.registry.snapshot(),
+                    "spans": spans,
+                    "flight": self.flight.dump()}
+
+    def flight_dump(self) -> list[dict]:
+        """Current flight-recorder contents (rides error frames)."""
+        with self._lock:
+            return self.flight.dump()
+
+
+#: The one per-process collector the dist worker loop feeds.
+_PROCESS = Telemetry()
+
+
+def telemetry() -> Telemetry:
+    """The process-global :class:`Telemetry` singleton."""
+    return _PROCESS
+
+
+class FleetTelemetry:
+    """Broker-side aggregate of every worker's telemetry frames.
+
+    One slot per worker key: snapshots *replace* (they are cumulative
+    worker-side, so aggregation is idempotent under re-send), spans
+    *accumulate*, and the latest flight dump is retained.  The
+    aggregate persists across ``submit()`` calls, so multi-wave model
+    checks accumulate one fleet view.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, dict] = {}
+        self._spans: dict[str, list[dict]] = {}
+        self._flight: dict[str, list[dict]] = {}
+
+    def update(self, worker: str, frame: dict) -> None:
+        """Fold one ``telemetry`` frame from ``worker`` into the fleet."""
+        snapshot = frame.get("snapshot")
+        if snapshot is not None:
+            self._snapshots[worker] = snapshot
+        spans = frame.get("spans")
+        if spans:
+            self._spans.setdefault(worker, []).extend(spans)
+        flight = frame.get("flight")
+        if flight:
+            self._flight[worker] = flight
+
+    def workers(self) -> list[str]:
+        """Worker keys that have reported at least once."""
+        keys = set(self._snapshots) | set(self._spans) | set(self._flight)
+        return sorted(keys)
+
+    def per_worker(self) -> dict[str, dict]:
+        """Latest cumulative metric snapshot per worker key."""
+        return dict(self._snapshots)
+
+    def flight(self, worker: str) -> list[dict]:
+        """Latest flight-recorder dump from ``worker`` (may be empty)."""
+        return list(self._flight.get(worker, ()))
+
+    def registry(self, extra=None) -> MetricsRegistry:
+        """Merged fleet registry; ``extra`` folds in broker-side metrics."""
+        merged = MetricsRegistry()
+        for snapshot in self._snapshots.values():
+            merged.merge(snapshot)
+        if extra is not None:
+            merged.merge(extra)
+        return merged
+
+    def spans_by_worker(self) -> dict[str, list[dict]]:
+        """Accumulated span dicts per worker key."""
+        return {worker: list(spans) for worker, spans in self._spans.items()}
+
+    def chrome_trace(self) -> dict:
+        """Stitch every worker's spans into one Chrome trace dict."""
+        return stitch_chrome_trace(self._spans, self._snapshots)
+
+    def to_dict(self) -> dict:
+        """JSON-ready fleet state for ``--telemetry-json`` / the server."""
+        return {
+            "workers": self.workers(),
+            "fleet": self.registry().snapshot(),
+            "per_worker": self.per_worker(),
+        }
+
+
+def stitch_chrome_trace(spans_by_worker: dict, snapshots: dict | None = None) -> dict:
+    """Merge per-worker span dumps into one Chrome Trace Event dict.
+
+    One pid (track group) per worker, one tid (lane) per node within
+    the worker, timestamps normalized so the fleet trace starts at 0.
+    A worker whose snapshot reports dropped spans gets a
+    ``span_truncation`` metadata note, mirroring the single-process
+    exporter.
+    """
+    snapshots = snapshots or {}
+    events: list[dict] = []
+    t0 = min((span["ts"] for spans in spans_by_worker.values()
+              for span in spans), default=0.0)
+    for pid, worker in enumerate(sorted(spans_by_worker), start=1):
+        spans = spans_by_worker[worker]
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": f"worker {worker}"}})
+        dropped = 0
+        snapshot = snapshots.get(worker, {})
+        for path in ("worker.spans_dropped", "worker.spans_sim_dropped"):
+            metric = snapshot.get(path)
+            if metric:
+                dropped += metric.get("value", 0)
+        if dropped:
+            events.append({
+                "name": "span_truncation", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"dropped": dropped,
+                         "note": (f"[truncated: {dropped} span(s) dropped "
+                                  f"by worker {worker}]")},
+            })
+        tids = {node: i + 1 for i, node in
+                enumerate(sorted({span["node"] for span in spans}))}
+        for node, tid in tids.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": node}})
+        for span in spans:
+            events.append({
+                "name": span["name"],
+                "cat": span.get("cat", "span"),
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[span["node"]],
+                "ts": span["ts"] - t0,
+                "dur": span["dur"],
+                "args": span.get("args", {}),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -45,6 +45,9 @@ class Counterexample:
     fingerprint: int  # canonical fingerprint of the violating state
     shrunk: bool = False
     meta: dict = field(default_factory=dict)
+    #: Flight-recorder dump (tuple of event dicts) from the shard that
+    #: hit a crash -- what the search was doing just before it blew up.
+    flight: tuple = ()
 
     @property
     def signature(self) -> tuple:
@@ -124,15 +127,17 @@ class Counterexample:
         if tuple(path) == self.path:
             return Counterexample(self.model, self.path, self.kind,
                                   self.message, self.fingerprint,
-                                  shrunk=True, meta=dict(self.meta))
+                                  shrunk=True, meta=dict(self.meta),
+                                  flight=self.flight)
         return Counterexample(self.model, tuple(path), self.kind,
                               self.message, self.fingerprint,
-                              shrunk=True, meta=dict(self.meta))
+                              shrunk=True, meta=dict(self.meta),
+                              flight=self.flight)
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-ready representation (regression-fixture format)."""
-        return {
+        payload = {
             "format": 1,
             "model": self.model.to_dict(),
             "path": list(self.path),
@@ -142,6 +147,9 @@ class Counterexample:
             "shrunk": self.shrunk,
             "meta": dict(self.meta),
         }
+        if self.flight:
+            payload["flight"] = [dict(event) for event in self.flight]
+        return payload
 
     def to_json(self) -> str:
         """Serialize as pretty JSON text."""
@@ -158,6 +166,7 @@ class Counterexample:
             fingerprint=payload["fingerprint"],
             shrunk=payload.get("shrunk", False),
             meta=dict(payload.get("meta", ())),
+            flight=tuple(payload.get("flight", ())),
         )
 
     @classmethod

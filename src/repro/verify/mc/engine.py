@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConsistencyViolation
 from repro.harness.dist import resolve_backend
 from repro.harness.sweep import CellFailure, SweepCell
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.verify import invariants
 from repro.verify.mc.counterexample import (
@@ -73,8 +74,10 @@ def explore_shard(model: CheckModel, shard: int, n_shards: int, work,
     Returns a plain picklable dict: ``new_fps`` (discovery order),
     ``emit`` (``{owner: [(path, fp)]}``), ``states``, ``terminals``,
     ``outcomes`` (``[(outcome, path)]`` with the minimal path per
-    outcome), ``violations`` (``[(path, kind, message, fp)]``),
-    ``max_depth``, ``replays`` and ``truncated``.
+    outcome), ``violations`` (``[(path, kind, message, fp, flight)]``
+    where ``flight`` is the shard's flight-recorder dump for crashes
+    and ``()`` otherwise), ``max_depth``, ``replays`` and
+    ``truncated``.
     """
     seen = set(visited)
     # Reversed so list.pop() explores the first work item's subtree first.
@@ -85,10 +88,14 @@ def explore_shard(model: CheckModel, shard: int, n_shards: int, work,
     violations: list[tuple] = []
     states = terminals = replays = deepest = 0
     truncated = False
+    # Last-N replay events; a crashing interleaving ships what the
+    # search was doing just before it, for the postmortem.
+    flight = FlightRecorder(64)
     while stack:
         path, fp = stack.pop()
         if fp is not None and fp in seen:
             continue
+        flight.record("replay", depth=len(path), states=states)
         try:
             system, network = model.replay(path)
         except ConsistencyViolation as exc:
@@ -96,15 +103,17 @@ def explore_shard(model: CheckModel, shard: int, n_shards: int, work,
             # to fingerprint, so the exception identity stands in.
             replays += 1
             violations.append(
-                (path, KIND_INVARIANT, str(exc), crash_fingerprint(exc)))
+                (path, KIND_INVARIANT, str(exc), crash_fingerprint(exc), ()))
             continue
         except Exception as exc:
             # The controller itself blew up under this interleaving --
             # as much a found defect as a failed invariant.
             replays += 1
+            flight.record("crash", depth=len(path),
+                          error=f"{type(exc).__name__}: {exc}"[:200])
             violations.append(
                 (path, KIND_CRASH, f"{type(exc).__name__}: {exc}",
-                 crash_fingerprint(exc)))
+                 crash_fingerprint(exc), tuple(flight.dump())))
             continue
         replays += 1
         if fp is None:
@@ -123,7 +132,7 @@ def explore_shard(model: CheckModel, shard: int, n_shards: int, work,
             try:
                 invariants.check_all(system)
             except ConsistencyViolation as exc:
-                violations.append((path, KIND_INVARIANT, str(exc), fp))
+                violations.append((path, KIND_INVARIANT, str(exc), fp, ()))
                 continue
         choices = network.deliverable()
         if not choices:
@@ -131,7 +140,7 @@ def explore_shard(model: CheckModel, shard: int, n_shards: int, work,
             if stuck:
                 violations.append(
                     (path, KIND_DEADLOCK,
-                     f"deadlock: {stuck} threads stuck", fp))
+                     f"deadlock: {stuck} threads stuck", fp, ()))
             else:
                 terminals += 1
                 outcome = model.outcome(system)
@@ -355,8 +364,9 @@ class ModelChecker:
         """
         examples = [
             Counterexample(model=self.model, path=tuple(path), kind=kind,
-                           message=message, fingerprint=fp)
-            for path, kind, message, fp in raw
+                           message=message, fingerprint=fp,
+                           flight=tuple(flight))
+            for path, kind, message, fp, flight in raw
         ]
         survivors = dedup(examples)
         if self.shrink:

@@ -323,3 +323,63 @@ def test_watchdog_digest_names_open_spans():
     message = str(exc.value)
     assert "oldest in-flight spans" in message
     assert "LOAD" in message and "0x10" in message
+
+
+# ---------------------------------------------------------------------------
+# Truncation surfacing + the validated write funnel (PR 8 satellites).
+# ---------------------------------------------------------------------------
+
+def _truncated_obs():
+    """Run a contended workload with a tiny span capacity."""
+    system = contended_system()
+    obs = Observability(span_capacity=16).attach(system)
+    system.run_threads(contended_programs(rounds=6), placement=[0, 1, 2, 3])
+    assert obs.recorder.dropped > 0
+    return obs
+
+
+def test_summaries_surface_span_truncation():
+    """Capacity drops show up in both text rollups, with a drop rate."""
+    obs = _truncated_obs()
+    dump = obs.finalize()
+    text = summarize_obs(dump)
+    assert "spans TRUNCATED at capacity" in text
+    assert f"{dump['spans']['dropped']} dropped (" in text
+    assert "% of" in text  # the drop rate
+    assert f"spans_dropped={dump['spans']['dropped']}" in compact_obs(dump)
+
+
+def test_summaries_stay_quiet_without_truncation():
+    """No dropped spans -> no truncation line, no spans_dropped field."""
+    result = run_workload("fft", scale=0.3, seed=2, obs=True)
+    dump = result.extra["obs"]
+    assert dump["spans"]["dropped"] == 0
+    assert "TRUNCATED" not in summarize_obs(dump)
+    assert "spans_dropped" not in compact_obs(dump)
+
+
+def test_chrome_trace_carries_truncation_metadata():
+    """A truncated recorder yields a span_truncation metadata event."""
+    obs = _truncated_obs()
+    trace = chrome_trace(obs.recorder)
+    assert validate_chrome_trace(trace) == []
+    (note,) = [ev for ev in trace["traceEvents"]
+               if ev["name"] == "span_truncation"]
+    assert note["args"]["dropped"] == obs.recorder.dropped
+    assert "[truncated:" in note["args"]["note"]
+
+
+def test_write_trace_file_refuses_invalid_traces(tmp_path):
+    """The validated write funnel raises instead of shipping garbage."""
+    from repro.obs import TraceValidationError, write_trace_file
+
+    path = tmp_path / "bad.json"
+    bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1}]}
+    with pytest.raises(TraceValidationError) as err:
+        write_trace_file(str(path), bad)
+    assert not path.exists()  # nothing reached disk
+    assert err.value.path == str(path)
+    assert any("non-numeric 'ts'" in p for p in err.value.problems)
+    # validate=False is the explicit escape hatch.
+    assert write_trace_file(str(path), bad, validate=False) == 1
+    assert path.exists()
