@@ -1,0 +1,125 @@
+"""Scenario-fuzzer throughput and fault-hook overhead benchmarks.
+
+Two gates keep the scenario subsystem honest:
+
+- the coverage-guided fuzzer must sustain a usable scenario rate
+  (appended to ``BENCH_fuzz.json`` so throughput across CI
+  environments accumulates over time);
+- the fault hook in ``Network.send`` must be free when unused -- a run
+  with an installed-but-empty :class:`FaultPlan` is compared against
+  the plain fast path and gated at 1.25x (generous for 1-core CI
+  noise; the hook is one attribute load and an ``is None`` test), with
+  the measured ratio appended to ``BENCH_sweep.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FUZZ_JSON = ROOT / "BENCH_fuzz.json"
+BENCH_SWEEP_JSON = ROOT / "BENCH_sweep.json"
+
+
+def _append(path: pathlib.Path, record: dict) -> None:
+    """Append one record to a BENCH_*.json trajectory."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.mark.fuzz_bench
+def test_fuzz_throughput(benchmark, save_result):
+    """Measure scenarios/second of a short fuzzing session."""
+    from repro.scenario.fuzz import fuzz
+
+    def run():
+        return fuzz(max_scenarios=12, seed=5, shrink=False, batch_size=6)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.scenarios_run >= 12
+    assert report.scenarios_per_s > 0.05, (
+        f"fuzzer unusably slow: {report.scenarios_per_s:.3f} scenarios/s")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "scenarios_run": report.scenarios_run,
+        "elapsed_s": round(report.elapsed_s, 4),
+        "scenarios_per_s": round(report.scenarios_per_s, 4),
+        "coverage_signals": report.coverage_size,
+    }
+    _append(BENCH_FUZZ_JSON, record)
+    save_result(
+        "fuzz_throughput",
+        f"fuzz: {report.scenarios_run} scenarios in "
+        f"{report.elapsed_s:.2f}s ({report.scenarios_per_s:.2f}/s, "
+        f"{report.coverage_size} coverage signals)",
+    )
+
+
+@pytest.mark.fuzz_bench
+def test_fault_hook_overhead_gated(benchmark, save_result):
+    """An installed-but-empty FaultPlan must not slow the network down."""
+    import pickle
+
+    from repro.scenario.faults import FaultPlan
+    from repro.sim.config import two_cluster_config
+    from repro.sim.system import build_system
+    from repro.workloads import WORKLOADS
+
+    def cell(install_empty_plan):
+        config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO",
+                                    mcm_b="WEAK", cores_per_cluster=2,
+                                    seed=3)
+        system = build_system(config)
+        if install_empty_plan:
+            system.network.faults = FaultPlan([])
+        programs = WORKLOADS["histogram"].build(config.total_cores,
+                                                scale=0.8, seed=3)
+        return pickle.dumps(system.run_threads(programs))
+
+    def run():
+        cell(False)  # warm caches before timing either variant
+        start = time.perf_counter()
+        plain = cell(False)
+        plain_s = time.perf_counter() - start
+        start = time.perf_counter()
+        hooked = cell(True)
+        hooked_s = time.perf_counter() - start
+        return plain, plain_s, hooked, hooked_s
+
+    plain, plain_s, hooked, hooked_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Bit-identity first: the empty plan changes nothing.
+    assert hooked == plain
+    ratio = hooked_s / plain_s
+    assert ratio <= 1.25, (
+        f"empty fault plan cost {hooked_s:.3f}s vs plain {plain_s:.3f}s "
+        f"({ratio:.2f}x > 1.25x bound)")
+
+    # Field names deliberately disjoint from the sweep-scaling records
+    # sharing this trajectory, so latest-vs-previous deltas never
+    # compare a figure10 grid time against this single-cell run.
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "fault_hook_plain_s": round(plain_s, 4),
+        "fault_hook_empty_plan_s": round(hooked_s, 4),
+        "ratio_fault_hook_over_plain": round(ratio, 4),
+    }
+    _append(BENCH_SWEEP_JSON, record)
+    save_result(
+        "fault_hook_overhead",
+        f"empty fault plan: plain {plain_s:.3f}s, hooked {hooked_s:.3f}s "
+        f"({ratio:.2f}x)",
+    )

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Scenario DSL end to end: declare, fault, fuzz, shrink, replay.
+
+Walks the whole `repro.scenario` loop in one sitting:
+
+1. build a heterogeneous scenario as a plain dict and validate it,
+2. run it fault-free, then again with a delay fault (still green) and
+   a drop fault (deterministic deadlock),
+3. fuzz with the seeded Rule-II defect until the fuzzer finds a
+   failure, shrinks it to a 1-minimal scenario and writes a TOML
+   fixture,
+4. reload the fixture and replay it red -- the regression contract.
+
+Run:  python examples/scenario_fuzzing.py
+"""
+
+import tempfile
+
+from repro.scenario import (
+    Scenario,
+    fuzz,
+    matches_expectation,
+    run_scenario,
+    shrink_scenario,
+)
+
+
+def declare() -> Scenario:
+    """A MESI/TSO + MOESI/WEAK pairing over CXL, as a validated dict."""
+    doc = {
+        "scenario": {"name": "tour",
+                     "description": "scenario DSL walkthrough"},
+        "topology": {"global_protocol": "CXL",
+                     "clusters": [{"protocol": "MESI", "mcm": "TSO"},
+                                  {"protocol": "MOESI", "mcm": "WEAK"}]},
+        "workloads": [{"name": "histogram", "scale": 0.1}],
+        "seeds": {"root": 7},
+    }
+    scenario = Scenario.from_dict(doc)
+    print(f"declared {scenario.name!r}: "
+          f"{len(scenario.clusters)} clusters, root seed "
+          f"{scenario.root_seed}")
+    return scenario
+
+
+def run_faulted(scenario: Scenario) -> None:
+    """Delay faults stay green; drop faults deadlock -- and we expect it."""
+    outcome = run_scenario(scenario)
+    print(f"fault-free: {outcome['status']} "
+          f"({outcome['messages']} msgs, digest {outcome['digest'][:12]}...)")
+
+    doc = scenario.to_dict()
+    doc["faults"] = [{"kind": "delay", "vnet": "resp",
+                      "delay_ns": 120.0, "probability": 0.4}]
+    delayed = run_scenario(Scenario.from_dict(doc))
+    fired = sum(delayed["faults"].values())
+    print(f"delay fault: {delayed['status']} ({fired} fault(s) fired)")
+    assert delayed["status"] == "ok", "delay is legal jitter"
+
+    doc["faults"] = [{"kind": "drop", "vnet": "req", "count": 1}]
+    doc["expect"] = {"failure": "deadlock"}
+    dropping = Scenario.from_dict(doc)
+    dropped = run_scenario(dropping)
+    print(f"drop fault:  {dropped['failure']['kind']} "
+          f"(matches [expect]: {matches_expectation(dropping, dropped)})")
+
+
+def fuzz_and_replay(fixture_dir: str) -> None:
+    """Seed the Rule-II defect, let the fuzzer find/shrink/write it."""
+    report = fuzz(max_scenarios=24, seed=1, defect=True,
+                  fixture_dir=fixture_dir, max_findings=1)
+    print(f"fuzz: {report.scenarios_run} scenarios, "
+          f"{report.coverage_size} coverage signals, "
+          f"{len(report.findings)} finding(s)")
+    finding = report.findings[0]
+    print(f"  finding: {finding.kind} in {finding.scenario.name}, "
+          f"shrunk and written to {finding.fixture}")
+
+    # Demonstrate the shrinker directly: strip a noisy failing scenario
+    # down to its 1-minimal core.
+    noisy = finding.scenario.to_dict()
+    shrunk, probes = shrink_scenario(Scenario.from_dict(noisy))
+    print(f"  shrink: {probes} probes -> "
+          f"{len(shrunk.faults)} fault(s), "
+          f"{len(shrunk.workloads)} workload(s), "
+          f"expect {shrunk.expect_failure}")
+
+    # The regression contract: the fixture replays red, forever.
+    replayed = Scenario.load(finding.fixture)
+    outcome = run_scenario(replayed)
+    assert outcome["status"] == "fail"
+    assert matches_expectation(replayed, outcome)
+    print(f"  replay: {outcome['failure']['kind']} -- fixture is a "
+          f"permanent regression test")
+
+
+def main() -> None:
+    """Run the full declare -> fault -> fuzz -> shrink -> replay tour."""
+    scenario = declare()
+    run_faulted(scenario)
+    with tempfile.TemporaryDirectory() as fixture_dir:
+        fuzz_and_replay(fixture_dir)
+    print("tour complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,10 @@ exposes the library's main entry points without writing any code:
 - ``bench report``    print latest-vs-previous deltas across every
   ``BENCH_*.json`` trajectory; exit 1 when a directional field
   regressed beyond the threshold.
+- ``scenario``    declarative TOML scenarios: ``validate``/``run`` a
+  corpus (fault injection, host churn), ``fuzz`` the scenario space
+  with coverage guidance, ``shrink`` a failing scenario to 1-minimal
+  TOML (see docs/SCENARIOS.md).
 - ``slicc``       dump the generated compound controller.
 - ``lint``        statically lint the generated protocol artifacts
   (``--strict`` fails on any finding, ``--self-test`` proves every rule
@@ -398,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=".", metavar="DIR",
                    help="directory holding the BENCH_*.json files "
                         "(default .)")
+
+    from repro.scenario.cli import add_scenario_parser
+
+    add_scenario_parser(sub)
 
     p = sub.add_parser("slicc", help="dump a generated compound controller")
     p.add_argument("local", help="local protocol (MESI, MESIF, MOESI, RCC; "
@@ -842,6 +850,11 @@ def main(argv=None) -> int:
 
     if command == "check":
         return _cmd_check(args)
+
+    if command == "scenario":
+        from repro.scenario.cli import cmd_scenario
+
+        return cmd_scenario(args)
 
     if command == "slicc":
         from repro.core.generator import generate

@@ -71,6 +71,7 @@ class Core:
         self._scan_pending = False
         self.finish_time: int | None = None
         self.ops_retired = 0
+        self.parked = False  # host left mid-run (repro.scenario churn)
 
     # ------------------------------------------------------------------
     # Program control.
@@ -87,6 +88,7 @@ class Core:
         self._done_ptr = 0
         self._on_done = on_done
         self.finish_time = None
+        self.parked = False
         if not self.ops:
             self.engine.post(0, self._finish)
             return
@@ -96,6 +98,23 @@ class Core:
         self.finish_time = self.engine.now
         if self._on_done is not None:
             self._on_done(self.engine.now)
+
+    def park(self) -> None:
+        """The host thread leaves mid-run (scenario join/leave churn).
+
+        Every op not yet handed to the memory system completes as a
+        no-op; in-flight ops (issued requests, scheduled gaps, buffered
+        stores) drain through the normal paths so the coherence
+        protocol sees a clean departure, after which the regular finish
+        condition fires and the thread counts as completed.
+        """
+        self.parked = True
+        status = self.status
+        for i, s in enumerate(status):
+            if s == PEND:
+                status[i] = DONE
+        if self.ops and self.finish_time is None:
+            self._request_scan()
 
     # ------------------------------------------------------------------
     # Issue logic.

@@ -32,6 +32,7 @@ BENCH_FILES = (
     "BENCH_dist.json",
     "BENCH_engine.json",
     "BENCH_explore.json",
+    "BENCH_fuzz.json",
     "BENCH_lint.json",
     "BENCH_obs.json",
     "BENCH_sweep.json",

@@ -330,6 +330,14 @@ def collect_system_metrics(system, registry: MetricsRegistry) -> MetricsRegistry
         registry.counter(f"system.network.vnet.{vnet}").add(count)
     for kind, count in sorted(net.stats.per_kind.items()):
         registry.counter(f"system.network.kind.{kind}").add(count)
+    faults = getattr(net, "faults", None)
+    if faults is not None:
+        for verb, count in sorted(faults.counters.items()):
+            registry.counter(f"system.network.fault.{verb}").add(count)
+    host_events = getattr(system, "host_events", None)
+    if host_events and any(host_events.values()):
+        for kind, count in sorted(host_events.items()):
+            registry.counter(f"system.host.{kind}").add(count)
 
     for ci, cluster in enumerate(system.clusters):
         base = f"system.cluster{ci}"

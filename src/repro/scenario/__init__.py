@@ -1,0 +1,63 @@
+"""Declarative scenario DSL, fault injection, and a scenario fuzzer.
+
+A *scenario* is one TOML file describing a complete heterogeneous-
+coherence experiment: topology (clusters, protocols, memory models),
+workload mix, seeds, link-latency overrides, fault injections
+(drop/duplicate/delay/reorder windows on the interconnect), and host
+join/leave churn.  :mod:`repro.scenario.schema` loads and validates it,
+:mod:`repro.scenario.runner` executes it to a canonical outcome dict,
+and :mod:`repro.scenario.fuzz` searches the scenario space with a
+coverage-guided fuzzer that shrinks failures to 1-minimal replayable
+fixtures.  The shipped corpus lives in ``scenarios/``; the CLI surface
+is ``python -m repro scenario``.
+"""
+
+from repro.scenario.faults import FaultPlan, FaultRule, clone_message
+from repro.scenario.fuzz import (
+    FuzzFinding,
+    FuzzReport,
+    failure_signature,
+    fuzz,
+    random_scenario,
+    shrink_scenario,
+    write_fixture,
+)
+from repro.scenario.runner import (
+    matches_expectation,
+    run_scenario,
+    run_scenario_cell,
+    run_scenarios,
+)
+from repro.scenario.schema import (
+    ClusterSpec,
+    FaultSpec,
+    HostEventSpec,
+    Scenario,
+    ScenarioError,
+    WorkloadMix,
+    derive_seed,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpec",
+    "FuzzFinding",
+    "FuzzReport",
+    "HostEventSpec",
+    "Scenario",
+    "ScenarioError",
+    "WorkloadMix",
+    "clone_message",
+    "derive_seed",
+    "failure_signature",
+    "fuzz",
+    "matches_expectation",
+    "random_scenario",
+    "run_scenario",
+    "run_scenario_cell",
+    "run_scenarios",
+    "shrink_scenario",
+    "write_fixture",
+]

@@ -1,0 +1,130 @@
+"""Seeded fault plans: the adversarial half of the scenario DSL.
+
+A :class:`FaultPlan` is the object :class:`repro.sim.network.Network`
+consults on every ``send`` when one is installed (``network.faults``;
+the default ``None`` keeps the hot path at a single ``is None`` test).
+It evaluates the scenario's :class:`~repro.scenario.schema.FaultSpec`
+rules in order against each outgoing message and returns at most one
+*action*:
+
+- ``("drop", 0)``        -- count the message but never deliver it;
+- ``("delay", ticks)``   -- add ``ticks`` before the FIFO floor check;
+- ``("reorder", ticks)`` -- add ``ticks`` and *bypass* the per-channel
+  FIFO floor, letting the message overtake same-channel peers (the
+  reordering real fabrics exhibit under retry/QoS);
+- ``("duplicate", 0)``   -- deliver the message twice (fresh uid on the
+  copy), modelling at-least-once retry delivery.
+
+Matching is deterministic and RNG-free; randomness enters only through
+each rule's ``probability``, drawn from one seeded stream so a plan
+replays identically for a given scenario.  Fired actions accumulate in
+:attr:`FaultPlan.counters`, which ``repro.obs.metrics`` publishes as
+``system.network.fault.*``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.protocols.messages import Message
+from repro.sim.config import ns
+
+#: Reverse of VNET_NAMES: "req"/"fwd"/"resp" -> vnet index.
+_VNET_INDEX = {"req": 0, "fwd": 1, "resp": 2}
+
+
+class FaultRule:
+    """One compiled fault-injection rule (see module docstring)."""
+
+    __slots__ = ("kind", "vnet", "kinds", "src", "dst", "window",
+                 "probability", "delay_ticks", "count")
+
+    def __init__(self, kind: str, vnet: str | None = None, kinds=(),
+                 src: str | None = None, dst: str | None = None,
+                 window: tuple[int, int] = (0, -1), probability: float = 1.0,
+                 delay_ticks: int = 0, count: int = -1) -> None:
+        self.kind = kind
+        self.vnet = None if vnet is None else _VNET_INDEX[vnet]
+        self.kinds = frozenset(kinds)
+        self.src = src
+        self.dst = dst
+        self.window = window
+        self.probability = probability
+        self.delay_ticks = delay_ticks
+        self.count = count
+
+    def matches(self, msg: Message) -> bool:
+        """Does this rule select ``msg``?  Deterministic, RNG-free."""
+        if self.vnet is not None and msg.vnet != self.vnet:
+            return False
+        if self.kinds and msg.kind not in self.kinds:
+            return False
+        if self.src is not None and not msg.src.startswith(self.src):
+            return False
+        if self.dst is not None and not msg.dst.startswith(self.dst):
+            return False
+        return True
+
+    @classmethod
+    def from_spec(cls, spec) -> "FaultRule":
+        """Compile one schema :class:`FaultSpec` (ns -> ticks)."""
+        return cls(kind=spec.kind, vnet=spec.vnet, kinds=spec.kinds,
+                   src=spec.src, dst=spec.dst, window=spec.window,
+                   probability=spec.probability,
+                   delay_ticks=ns(spec.delay_ns), count=spec.count)
+
+
+class FaultPlan:
+    """Ordered fault rules plus the seeded stream that arms them."""
+
+    def __init__(self, rules, seed: int = 0) -> None:
+        self.rules: list[FaultRule] = list(rules)
+        self.rng = random.Random(seed)
+        #: Fired-action totals by verb (``drop``/``delay``/...).
+        self.counters: dict[str, int] = {}
+        self._matched = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "FaultPlan | None":
+        """Build the plan a scenario declares (None when fault-free).
+
+        Returning None -- rather than an empty plan -- keeps the
+        network's fault-free fast path byte-identical to a build
+        without the hook.
+        """
+        if not scenario.faults:
+            return None
+        rules = [FaultRule.from_spec(spec) for spec in scenario.faults]
+        return cls(rules, seed=scenario.fault_seed())
+
+    def action_for(self, msg: Message):
+        """The action to apply to ``msg``, or None to deliver normally.
+
+        First matching armed rule wins.  Each rule keeps its own match
+        ordinal so ``window`` selects "the Nth..Mth messages this rule
+        matches", independent of other rules.
+        """
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(msg):
+                continue
+            ordinal = self._matched[index]
+            self._matched[index] = ordinal + 1
+            lo, hi = rule.window
+            if ordinal < lo or (hi >= 0 and ordinal > hi):
+                continue
+            if rule.count >= 0 and self._fired[index] >= rule.count:
+                continue
+            if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                continue
+            self._fired[index] += 1
+            self.counters[rule.kind] = self.counters.get(rule.kind, 0) + 1
+            return (rule.kind, rule.delay_ticks)
+        return None
+
+
+def clone_message(msg: Message) -> Message:
+    """A duplicate delivery of ``msg``: same payload, fresh uid."""
+    return Message(kind=msg.kind, addr=msg.addr, src=msg.src, dst=msg.dst,
+                   meta=msg.meta, data=msg.data, acks=msg.acks,
+                   extra=dict(msg.extra))

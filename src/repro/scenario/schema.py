@@ -1,0 +1,525 @@
+"""Declarative scenario schema: validation, seeds, (de)serialization.
+
+A *scenario* is one fully-specified simulation: topology (clusters and
+the global protocol), a workload mix, one root seed, optional link
+overrides, optional fault injections, optional host join/leave events,
+an optional injected defect and the failure the author expects (for
+regression fixtures).  The TOML shape is documented in
+``docs/SCENARIOS.md``; the shipped corpus lives in ``scenarios/``.
+
+Validation is total and path-qualified: every rejected document raises
+:class:`ScenarioError` naming the offending key path (for example
+``faults[1].window: expected [lo, hi] integers``) -- never a bare
+``KeyError`` -- so fuzzers and humans get actionable messages.
+
+Seed discipline (mirrors ``repro.workloads.base``): one ``seeds.root``
+integer, and every consumer derives its own stream with
+:func:`derive_seed` -- crc32-salted, so derivation is stable across
+processes and Python versions (``hash()`` is neither).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.protocols.messages import MESSAGE_VNET, VNET_NAMES
+from repro.sim.config import ClusterConfig, SystemConfig
+from repro.workloads import WORKLOADS
+
+
+class ScenarioError(ValueError):
+    """A scenario document that fails schema validation."""
+
+
+def derive_seed(root: int, *salts: str) -> int:
+    """Derive a consumer seed from the scenario root seed.
+
+    crc32-folds each salt string into the root, so every consumer
+    (network, per-workload program builder, fault plan) gets an
+    independent, cross-process-stable stream from one declared seed.
+    """
+    value = root & 0xFFFFFFFF
+    for salt in salts:
+        value = zlib.crc32(salt.encode("utf-8"), value)
+    return value
+
+
+#: Local protocols a cluster may run (the paper's four).
+LOCAL_PROTOCOLS = ("MESI", "MESIF", "MOESI", "RCC")
+#: Global protocols (CXL.mem Dcoh or the hierarchical MESI directory).
+GLOBAL_PROTOCOLS = ("CXL", "MESI")
+#: Memory consistency models understood by the core.
+MCMS = ("SC", "TSO", "WEAK", "RCC")
+#: Fault verbs the network hook implements.
+FAULT_KINDS = ("drop", "duplicate", "delay", "reorder")
+#: Host churn events.
+EVENT_KINDS = ("join", "leave")
+#: Failure classifications a scenario outcome may carry.
+FAILURE_KINDS = ("invariant", "deadlock", "crash", "rule2")
+#: SystemConfig fields the ``[links]`` table may override.
+LINK_FIELDS = {
+    "intra_flit_bytes": int,
+    "intra_router_cycles": int,
+    "intra_link_cycles": int,
+    "cross_flit_bytes": int,
+    "cross_router_cycles": int,
+    "cross_link_ns": float,
+    "cross_jitter_ns": float,
+    "mem_latency_ns": float,
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster: local protocol, consistency model, core count."""
+
+    protocol: str
+    mcm: str
+    cores: int = 2
+
+    def to_dict(self) -> dict:
+        """TOML-ready form."""
+        return {"protocol": self.protocol, "mcm": self.mcm, "cores": self.cores}
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One workload entry in the scenario's thread mix."""
+
+    name: str
+    scale: float = 1.0
+
+    def to_dict(self) -> dict:
+        """TOML-ready form."""
+        return {"name": self.name, "scale": self.scale}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault-injection rule (see ``repro.scenario.faults``).
+
+    ``window`` bounds the rule by *match ordinal*: the rule arms on its
+    ``window[0]``-th matching message and disarms after ``window[1]``
+    (-1 = never).  ``src``/``dst`` are node-id prefixes (``"l1.0."``
+    matches every cluster-0 L1); ``kinds`` restricts to specific
+    message kinds and ``vnet`` to one virtual network.  ``count`` caps
+    how many times the rule may fire (-1 = unlimited).
+    """
+
+    kind: str
+    vnet: str | None = None
+    kinds: tuple[str, ...] = ()
+    src: str | None = None
+    dst: str | None = None
+    window: tuple[int, int] = (0, -1)
+    probability: float = 1.0
+    delay_ns: float = 0.0
+    count: int = -1
+
+    def to_dict(self) -> dict:
+        """TOML-ready form (defaults omitted)."""
+        data: dict = {"kind": self.kind}
+        if self.vnet is not None:
+            data["vnet"] = self.vnet
+        if self.kinds:
+            data["kinds"] = list(self.kinds)
+        if self.src is not None:
+            data["src"] = self.src
+        if self.dst is not None:
+            data["dst"] = self.dst
+        if self.window != (0, -1):
+            data["window"] = list(self.window)
+        if self.probability != 1.0:
+            data["probability"] = self.probability
+        if self.delay_ns:
+            data["delay_ns"] = self.delay_ns
+        if self.count != -1:
+            data["count"] = self.count
+        return data
+
+
+@dataclass(frozen=True)
+class HostEventSpec:
+    """One host-churn event: a cluster joining or leaving mid-run."""
+
+    kind: str
+    cluster: int
+    at_ns: float
+
+    def to_dict(self) -> dict:
+        """TOML-ready form."""
+        return {"kind": self.kind, "cluster": self.cluster, "at_ns": self.at_ns}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated, fully-specified simulation scenario."""
+
+    name: str
+    description: str = ""
+    global_protocol: str = "CXL"
+    clusters: tuple[ClusterSpec, ...] = (
+        ClusterSpec("MESI", "TSO"), ClusterSpec("MESI", "TSO"))
+    workloads: tuple[WorkloadMix, ...] = (WorkloadMix("histogram", 0.25),)
+    root_seed: int = 1
+    links: tuple[tuple[str, float], ...] = ()
+    faults: tuple[FaultSpec, ...] = ()
+    events: tuple[HostEventSpec, ...] = ()
+    violate_atomicity: bool = False
+    invariant_period_ns: float = 100.0
+    expect_failure: str | None = None
+    meta: dict = field(default_factory=dict, compare=False)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "<dict>") -> "Scenario":
+        """Validate a parsed TOML document into a :class:`Scenario`.
+
+        Every violation raises :class:`ScenarioError` with the
+        offending key path; unknown keys are rejected at every level.
+        """
+        v = _Validator(source)
+        return v.scenario(data)
+
+    def to_dict(self) -> dict:
+        """Canonical TOML-ready dict (inverse of :meth:`from_dict`)."""
+        data: dict = {
+            "scenario": {"name": self.name},
+            "topology": {
+                "global_protocol": self.global_protocol,
+                "clusters": [c.to_dict() for c in self.clusters],
+            },
+            "workloads": [w.to_dict() for w in self.workloads],
+            "seeds": {"root": self.root_seed},
+        }
+        if self.description:
+            data["scenario"]["description"] = self.description
+        if self.links:
+            data["links"] = {key: value for key, value in self.links}
+        if self.faults:
+            data["faults"] = [f.to_dict() for f in self.faults]
+        if self.events:
+            data["events"] = [e.to_dict() for e in self.events]
+        if self.violate_atomicity:
+            data["defect"] = {"violate_atomicity": True}
+        data["checks"] = {"invariant_period_ns": self.invariant_period_ns}
+        if self.expect_failure is not None:
+            data["expect"] = {"failure": self.expect_failure}
+        return data
+
+    # -- derived views -------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` this scenario describes.
+
+        The network RNG seed is derived from the root seed with the
+        ``"network"`` salt, per the package seed discipline.
+        """
+        clusters = tuple(
+            ClusterConfig(cores=c.cores, protocol=c.protocol, mcm=c.mcm)
+            for c in self.clusters)
+        overrides = dict(self.links)
+        return SystemConfig(
+            clusters=clusters,
+            global_protocol=self.global_protocol,
+            seed=derive_seed(self.root_seed, "network"),
+            **overrides,  # type: ignore[arg-type]
+        )
+
+    def workload_seed(self, name: str) -> int:
+        """The derived seed for one workload's program builder."""
+        return derive_seed(self.root_seed, "workload", name)
+
+    def fault_seed(self) -> int:
+        """The derived seed for the fault plan's probability RNG."""
+        return derive_seed(self.root_seed, "faults")
+
+    # -- files ---------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Scenario":
+        """Load and validate one scenario TOML file."""
+        from repro.scenario.toml_io import loads
+
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            data = loads(text)
+        except ValueError as exc:
+            raise ScenarioError(f"{path}: not parseable TOML: {exc}") from None
+        return cls.from_dict(data, source=str(path))
+
+    def dump(self, path) -> None:
+        """Write this scenario as canonical TOML."""
+        from repro.scenario.toml_io import dumps
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(dumps(self.to_dict()))
+
+    def dumps(self) -> str:
+        """This scenario as canonical TOML text."""
+        from repro.scenario.toml_io import dumps
+
+        return dumps(self.to_dict())
+
+
+class _Validator:
+    """Path-qualified scenario validation (one instance per document)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def fail(self, path: str, message: str) -> "ScenarioError":
+        """Build the uniform error for one offending key path."""
+        return ScenarioError(f"{self.source}: {path}: {message}")
+
+    # -- leaf readers --------------------------------------------------
+    def _table(self, data, path: str, allowed: tuple[str, ...]) -> dict:
+        if not isinstance(data, dict):
+            raise self.fail(path, f"expected a table, got {type(data).__name__}")
+        for key in data:
+            if key not in allowed:
+                raise self.fail(f"{path}.{key}" if path else str(key),
+                                f"unknown key (allowed: {', '.join(allowed)})")
+        return data
+
+    def _str(self, table: dict, path: str, key: str, default=None,
+             choices: tuple[str, ...] | None = None) -> str:
+        if key not in table:
+            if default is not None:
+                return default
+            raise self.fail(f"{path}.{key}", "required key missing")
+        value = table[key]
+        if not isinstance(value, str):
+            raise self.fail(f"{path}.{key}",
+                            f"expected a string, got {type(value).__name__}")
+        if choices is not None and value not in choices:
+            raise self.fail(f"{path}.{key}",
+                            f"must be one of {', '.join(choices)}; got {value!r}")
+        return value
+
+    def _int(self, table: dict, path: str, key: str, default=None,
+             lo=None, hi=None) -> int:
+        if key not in table:
+            if default is not None:
+                return default
+            raise self.fail(f"{path}.{key}", "required key missing")
+        value = table[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise self.fail(f"{path}.{key}",
+                            f"expected an integer, got {type(value).__name__}")
+        if lo is not None and value < lo:
+            raise self.fail(f"{path}.{key}", f"must be >= {lo}; got {value}")
+        if hi is not None and value > hi:
+            raise self.fail(f"{path}.{key}", f"must be <= {hi}; got {value}")
+        return value
+
+    def _float(self, table: dict, path: str, key: str, default=None,
+               lo=None, hi=None) -> float:
+        if key not in table:
+            if default is not None:
+                return default
+            raise self.fail(f"{path}.{key}", "required key missing")
+        value = table[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise self.fail(f"{path}.{key}",
+                            f"expected a number, got {type(value).__name__}")
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise self.fail(f"{path}.{key}", "must be finite")
+        if lo is not None and value < lo:
+            raise self.fail(f"{path}.{key}", f"must be >= {lo}; got {value}")
+        if hi is not None and value > hi:
+            raise self.fail(f"{path}.{key}", f"must be <= {hi}; got {value}")
+        return value
+
+    # -- sections ------------------------------------------------------
+    def scenario(self, data: dict) -> Scenario:
+        """Validate the whole document."""
+        self._table(data, "", ("scenario", "topology", "workloads", "seeds",
+                               "links", "faults", "events", "defect",
+                               "checks", "expect"))
+        if "scenario" not in data:
+            raise self.fail("scenario", "required table missing")
+        head = self._table(data["scenario"], "scenario", ("name", "description"))
+        name = self._str(head, "scenario", "name")
+        if not name:
+            raise self.fail("scenario.name", "must be non-empty")
+        description = self._str(head, "scenario", "description", default="")
+
+        if "topology" not in data:
+            raise self.fail("topology", "required table missing")
+        topo = self._table(data["topology"], "topology",
+                           ("global_protocol", "clusters"))
+        global_protocol = self._str(topo, "topology", "global_protocol",
+                                    choices=GLOBAL_PROTOCOLS)
+        clusters = self.clusters(topo)
+        workloads = self.workloads(data)
+
+        seeds = self._table(data.get("seeds", {"root": 1}), "seeds", ("root",))
+        root_seed = self._int(seeds, "seeds", "root", default=1, lo=0)
+
+        links = self.links(data.get("links", {}))
+        faults = self.faults(data.get("faults", []))
+        events = self.events(data.get("events", []), len(clusters))
+
+        defect = self._table(data.get("defect", {}), "defect",
+                             ("violate_atomicity",))
+        violate = defect.get("violate_atomicity", False)
+        if not isinstance(violate, bool):
+            raise self.fail("defect.violate_atomicity",
+                            f"expected a boolean, got {type(violate).__name__}")
+
+        checks = self._table(data.get("checks", {}), "checks",
+                             ("invariant_period_ns",))
+        period = self._float(checks, "checks", "invariant_period_ns",
+                             default=100.0, lo=1.0)
+
+        expect = self._table(data.get("expect", {}), "expect", ("failure",))
+        expect_failure = None
+        if "failure" in expect:
+            expect_failure = self._str(expect, "expect", "failure",
+                                       choices=FAILURE_KINDS)
+
+        return Scenario(
+            name=name, description=description,
+            global_protocol=global_protocol, clusters=clusters,
+            workloads=workloads, root_seed=root_seed, links=links,
+            faults=faults, events=events, violate_atomicity=violate,
+            invariant_period_ns=period, expect_failure=expect_failure,
+        )
+
+    def clusters(self, topo: dict) -> tuple[ClusterSpec, ...]:
+        """Validate ``[[topology.clusters]]``."""
+        raw = topo.get("clusters")
+        if not isinstance(raw, list) or not raw:
+            raise self.fail("topology.clusters",
+                            "expected a non-empty array of tables")
+        out = []
+        for index, entry in enumerate(raw):
+            path = f"topology.clusters[{index}]"
+            table = self._table(entry, path, ("protocol", "mcm", "cores"))
+            protocol = self._str(table, path, "protocol", choices=LOCAL_PROTOCOLS)
+            mcm = self._str(table, path, "mcm", choices=MCMS)
+            if (protocol == "RCC") != (mcm == "RCC"):
+                raise self.fail(f"{path}.mcm",
+                                "RCC protocol and RCC consistency model "
+                                "imply each other")
+            cores = self._int(table, path, "cores", default=2, lo=1, hi=64)
+            out.append(ClusterSpec(protocol=protocol, mcm=mcm, cores=cores))
+        return tuple(out)
+
+    def workloads(self, data: dict) -> tuple[WorkloadMix, ...]:
+        """Validate ``[[workloads]]``."""
+        raw = data.get("workloads")
+        if not isinstance(raw, list) or not raw:
+            raise self.fail("workloads", "expected a non-empty array of tables")
+        out = []
+        for index, entry in enumerate(raw):
+            path = f"workloads[{index}]"
+            table = self._table(entry, path, ("name", "scale"))
+            name = self._str(table, path, "name")
+            if name not in WORKLOADS:
+                raise self.fail(f"{path}.name",
+                                f"unknown workload {name!r} (see `repro list`)")
+            scale = self._float(table, path, "scale", default=1.0,
+                                lo=0.01, hi=10.0)
+            out.append(WorkloadMix(name=name, scale=scale))
+        return tuple(out)
+
+    def links(self, raw) -> tuple[tuple[str, float], ...]:
+        """Validate ``[links]`` overrides against ``LINK_FIELDS``."""
+        table = self._table(raw, "links", tuple(LINK_FIELDS))
+        out = []
+        for key in LINK_FIELDS:
+            if key not in table:
+                continue
+            if LINK_FIELDS[key] is int:
+                out.append((key, self._int(table, "links", key, lo=1)))
+            else:
+                out.append((key, self._float(table, "links", key, lo=0.0)))
+        return tuple(out)
+
+    def faults(self, raw) -> tuple[FaultSpec, ...]:
+        """Validate ``[[faults]]``."""
+        if not isinstance(raw, list):
+            raise self.fail("faults", "expected an array of tables")
+        out = []
+        for index, entry in enumerate(raw):
+            path = f"faults[{index}]"
+            table = self._table(entry, path, ("kind", "vnet", "kinds", "src",
+                                              "dst", "window", "probability",
+                                              "delay_ns", "count"))
+            kind = self._str(table, path, "kind", choices=FAULT_KINDS)
+            vnet = None
+            if "vnet" in table:
+                vnet = self._str(table, path, "vnet",
+                                 choices=tuple(VNET_NAMES.values()))
+            kinds: tuple[str, ...] = ()
+            if "kinds" in table:
+                value = table["kinds"]
+                if (not isinstance(value, list)
+                        or not all(isinstance(k, str) for k in value)):
+                    raise self.fail(f"{path}.kinds",
+                                    "expected an array of message kinds")
+                for k in value:
+                    if k not in MESSAGE_VNET:
+                        raise self.fail(f"{path}.kinds",
+                                        f"unknown message kind {k!r}")
+                kinds = tuple(value)
+            src = self._str(table, path, "src") if "src" in table else None
+            dst = self._str(table, path, "dst") if "dst" in table else None
+            window = (0, -1)
+            if "window" in table:
+                value = table["window"]
+                ok = (isinstance(value, list) and len(value) == 2
+                      and all(isinstance(b, int) and not isinstance(b, bool)
+                              for b in value))
+                if not ok or value[0] < 0 or value[1] < -1:
+                    raise self.fail(f"{path}.window",
+                                    "expected [lo, hi] integers, lo >= 0, "
+                                    "hi >= lo (or -1 for open-ended)")
+                if value[1] != -1 and value[1] < value[0]:
+                    raise self.fail(f"{path}.window",
+                                    "expected [lo, hi] integers, lo >= 0, "
+                                    "hi >= lo (or -1 for open-ended)")
+                window = (value[0], value[1])
+            probability = self._float(table, path, "probability", default=1.0,
+                                      lo=0.0, hi=1.0)
+            delay_ns = self._float(table, path, "delay_ns", default=0.0,
+                                   lo=0.0, hi=100_000.0)
+            if kind in ("delay", "reorder") and delay_ns == 0.0:
+                raise self.fail(f"{path}.delay_ns",
+                                f"{kind} faults need delay_ns > 0")
+            count = self._int(table, path, "count", default=-1, lo=-1)
+            out.append(FaultSpec(kind=kind, vnet=vnet, kinds=kinds, src=src,
+                                 dst=dst, window=window,
+                                 probability=probability, delay_ns=delay_ns,
+                                 count=count))
+        return tuple(out)
+
+    def events(self, raw, num_clusters: int) -> tuple[HostEventSpec, ...]:
+        """Validate ``[[events]]`` (host join/leave)."""
+        if not isinstance(raw, list):
+            raise self.fail("events", "expected an array of tables")
+        out = []
+        joined: dict[int, float] = {}
+        for index, entry in enumerate(raw):
+            path = f"events[{index}]"
+            table = self._table(entry, path, ("kind", "cluster", "at_ns"))
+            kind = self._str(table, path, "kind", choices=EVENT_KINDS)
+            cluster = self._int(table, path, "cluster", lo=0,
+                                hi=num_clusters - 1)
+            at_ns = self._float(table, path, "at_ns", lo=0.0)
+            if kind == "join":
+                if cluster in joined:
+                    raise self.fail(f"{path}.cluster",
+                                    f"cluster {cluster} joins twice")
+                joined[cluster] = at_ns
+            out.append(HostEventSpec(kind=kind, cluster=cluster, at_ns=at_ns))
+        for event in out:
+            if (event.kind == "leave" and event.cluster in joined
+                    and joined[event.cluster] >= event.at_ns):
+                raise self.fail(
+                    "events", f"cluster {event.cluster} leaves at "
+                    f"{event.at_ns}ns before it has joined")
+        return tuple(out)

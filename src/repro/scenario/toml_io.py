@@ -1,0 +1,286 @@
+"""Canonical TOML reading/writing for scenario files.
+
+Two halves, both dependency-free:
+
+- :func:`loads` parses TOML text into plain dicts -- via the stdlib
+  ``tomllib`` on Python 3.11+, falling back to :func:`mini_loads` (a
+  line-oriented parser covering exactly the subset scenario files use)
+  on 3.10, where ``tomllib`` does not exist.
+- :func:`dumps` writes a nested dict back out as TOML in a *canonical*
+  layout (scalars first, then ``[tables]``, then ``[[arrays]]``; one
+  key per line; single-line arrays), so ``loads(dumps(d)) == d`` and a
+  re-dumped scenario is byte-stable -- the property the shrinker and
+  the round-trip property tests rely on.
+
+The supported subset (both directions): bare or quoted keys, basic
+``"..."`` strings, integers, floats, booleans, single-line arrays,
+``[table]`` / ``[[array-of-tables]]`` headers and ``#`` comments.
+Multi-line arrays, inline tables, dates and literal strings are out of
+scope; :func:`mini_loads` rejects them with a line-numbered error.
+"""
+
+from __future__ import annotations
+
+try:  # Python 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on py3.10 CI
+    _tomllib = None  # type: ignore[assignment]
+
+
+class TomlError(ValueError):
+    """A scenario TOML document the mini parser cannot accept."""
+
+
+def loads(text: str) -> dict:
+    """Parse TOML text into plain dicts (stdlib when available)."""
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return mini_loads(text)
+
+
+# ---------------------------------------------------------------------------
+# Mini parser (the py3.10 fallback).
+# ---------------------------------------------------------------------------
+
+def mini_loads(text: str) -> dict:
+    """Parse the scenario TOML subset without ``tomllib``."""
+    root: dict = {}
+    current = root
+    declared: set[tuple[str, ...]] = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError(f"line {lineno}: malformed [[table]] header")
+            path = _split_header(line[2:-2], lineno)
+            parent = _descend(root, path[:-1], lineno)
+            array = parent.setdefault(path[-1], [])
+            if not isinstance(array, list):
+                raise TomlError(
+                    f"line {lineno}: {'.'.join(path)} is not an array of tables")
+            table: dict = {}
+            array.append(table)
+            current = table
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError(f"line {lineno}: malformed [table] header")
+            path = _split_header(line[1:-1], lineno)
+            if path in declared:
+                raise TomlError(
+                    f"line {lineno}: table {'.'.join(path)} declared twice")
+            declared.add(path)
+            parent = _descend(root, path[:-1], lineno)
+            table = parent.setdefault(path[-1], {})
+            if not isinstance(table, dict):
+                raise TomlError(f"line {lineno}: {'.'.join(path)} redefined")
+            current = table
+        else:
+            key_text, eq, rest = line.partition("=")
+            if not eq:
+                raise TomlError(f"line {lineno}: expected `key = value`")
+            key = _parse_key(key_text.strip(), lineno)
+            value, end = _parse_value(rest, 0, lineno)
+            tail = rest[end:].strip()
+            if tail and not tail.startswith("#"):
+                raise TomlError(
+                    f"line {lineno}: trailing garbage after value: {tail!r}")
+            if key in current:
+                raise TomlError(f"line {lineno}: duplicate key {key!r}")
+            current[key] = value
+    return root
+
+
+def _split_header(text: str, lineno: int) -> tuple[str, ...]:
+    parts = tuple(part.strip() for part in text.strip().split("."))
+    if not parts or any(not part for part in parts):
+        raise TomlError(f"line {lineno}: empty table name")
+    return tuple(_parse_key(part, lineno) for part in parts)
+
+
+def _parse_key(text: str, lineno: int) -> str:
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]
+    if not text or not all(c.isalnum() or c in "_-" for c in text):
+        raise TomlError(f"line {lineno}: bad key {text!r}")
+    return text
+
+
+def _descend(root: dict, path: tuple[str, ...], lineno: int) -> dict:
+    node: dict = root
+    for part in path:
+        child = node.setdefault(part, {})
+        if isinstance(child, list):
+            if not child:
+                raise TomlError(f"line {lineno}: empty array of tables {part!r}")
+            child = child[-1]
+        if not isinstance(child, dict):
+            raise TomlError(f"line {lineno}: {part!r} is not a table")
+        node = child
+    return node
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def _parse_value(text: str, pos: int, lineno: int):
+    """Parse one value starting at ``pos``; returns ``(value, end)``."""
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise TomlError(f"line {lineno}: missing value")
+    c = text[pos]
+    if c == '"':
+        return _parse_string(text, pos, lineno)
+    if c == "[":
+        return _parse_array(text, pos, lineno)
+    token = _take_token(text, pos)
+    if token == "true":
+        return True, pos + 4
+    if token == "false":
+        return False, pos + 5
+    return _parse_number(token, lineno), pos + len(token)
+
+
+def _take_token(text: str, pos: int) -> str:
+    end = pos
+    while end < len(text) and text[end] not in " \t,]#":
+        end += 1
+    return text[pos:end]
+
+
+def _parse_number(token: str, lineno: int):
+    cleaned = token.replace("_", "")
+    try:
+        if any(ch in cleaned for ch in ".eE") and not cleaned.startswith(("0x", "0o", "0b")):
+            return float(cleaned)
+        return int(cleaned, 0)
+    except ValueError:
+        raise TomlError(f"line {lineno}: bad value {token!r}") from None
+
+
+def _parse_string(text: str, pos: int, lineno: int):
+    out: list[str] = []
+    i = pos + 1
+    while i < len(text):
+        c = text[i]
+        if c == "\\":
+            if i + 1 >= len(text) or text[i + 1] not in _ESCAPES:
+                raise TomlError(f"line {lineno}: bad escape in string")
+            out.append(_ESCAPES[text[i + 1]])
+            i += 2
+            continue
+        if c == '"':
+            return "".join(out), i + 1
+        out.append(c)
+        i += 1
+    raise TomlError(f"line {lineno}: unterminated string")
+
+
+def _parse_array(text: str, pos: int, lineno: int):
+    values: list = []
+    i = pos + 1
+    expect_value = True
+    while i < len(text):
+        while i < len(text) and text[i] in " \t":
+            i += 1
+        if i >= len(text):
+            break
+        c = text[i]
+        if c == "]":
+            return values, i + 1
+        if c == ",":
+            if expect_value:
+                raise TomlError(f"line {lineno}: empty array element")
+            expect_value = True
+            i += 1
+            continue
+        if not expect_value:
+            raise TomlError(f"line {lineno}: missing comma in array")
+        value, i = _parse_value(text, i, lineno)
+        values.append(value)
+        expect_value = False
+    raise TomlError(f"line {lineno}: unterminated array (single-line only)")
+
+
+# ---------------------------------------------------------------------------
+# Canonical dumper.
+# ---------------------------------------------------------------------------
+
+def dumps(data: dict) -> str:
+    """Serialize nested dicts as canonical TOML (see module docstring)."""
+    lines: list[str] = []
+    _emit_table(data, (), lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _is_table_array(value) -> bool:
+    return (isinstance(value, list) and bool(value)
+            and all(isinstance(item, dict) for item in value))
+
+
+def _emit_table(table: dict, path: tuple[str, ...], lines: list[str]) -> None:
+    for key, value in table.items():
+        if isinstance(value, dict) or _is_table_array(value):
+            continue
+        lines.append(f"{_format_key(key)} = {_format_value(value)}")
+    for key, value in table.items():
+        if isinstance(value, dict):
+            if lines:
+                lines.append("")
+            sub_path = path + (key,)
+            lines.append(f"[{'.'.join(_format_key(p) for p in sub_path)}]")
+            _emit_table(value, sub_path, lines)
+        elif _is_table_array(value):
+            sub_path = path + (key,)
+            header = f"[[{'.'.join(_format_key(p) for p in sub_path)}]]"
+            for item in value:
+                if lines:
+                    lines.append("")
+                lines.append(header)
+                _emit_table(item, sub_path, lines)
+
+
+def _format_key(key: str) -> str:
+    if key and all(c.isalnum() or c in "_-" for c in key):
+        return key
+    return _format_string(key)
+
+
+def _format_string(value: str) -> str:
+    out = ['"']
+    for c in value:
+        if c == "\\":
+            out.append("\\\\")
+        elif c == '"':
+            out.append('\\"')
+        elif c == "\n":
+            out.append("\\n")
+        elif c == "\t":
+            out.append("\\t")
+        elif c == "\r":
+            out.append("\\r")
+        elif ord(c) < 0x20:
+            out.append(f"\\u{ord(c):04x}")
+        else:
+            out.append(c)
+    out.append('"')
+    return "".join(out)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        if "." not in text and "e" not in text and "E" not in text:
+            text += ".0"
+        return text
+    if isinstance(value, str):
+        return _format_string(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    raise TomlError(f"cannot serialize {type(value).__name__} as TOML")

@@ -96,6 +96,9 @@ class Network:
         self.stats = NetworkStats()
         # Span recorder (repro.obs) or None; send() pays one test.
         self.obs = None
+        # Fault plan (repro.scenario.faults.FaultPlan) or None; like
+        # obs, the fault-free path pays exactly one is-None test.
+        self.faults = None
 
     def register(self, node: Node) -> None:
         """Register an endpoint (called by Node.__init__)."""
@@ -145,6 +148,12 @@ class Network:
         if link.jitter:
             delay += self.rng.randrange(link.jitter + 1)
         arrival = now + delay
+        faults = self.faults
+        if faults is not None:
+            action = faults.action_for(msg)
+            if action is not None:
+                self._send_faulted(msg, action, arrival, now)
+                return
         channel = (src, dst, msg.vnet)
         last_arrival = self._last_arrival
         floor = last_arrival.get(channel, -1) + 1
@@ -156,6 +165,53 @@ class Network:
         if obs is not None:
             obs.on_message(msg, arrival - now)
         engine.post_at(arrival, self.nodes[dst].handle_message, msg)
+
+    def _send_faulted(self, msg: Message, action, arrival: int, now: int) -> None:
+        """Finish delivery of a message selected by the fault plan.
+
+        ``action`` is ``(verb, extra_ticks)`` from
+        :meth:`repro.scenario.faults.FaultPlan.action_for`.  Drops are
+        counted but never scheduled; delays stretch the arrival but
+        keep per-channel FIFO; reorders stretch the arrival *and*
+        bypass the FIFO floor (the one legal-fabric property faults are
+        allowed to break); duplicates deliver a fresh-uid copy one tick
+        after the original.
+        """
+        verb, extra = action
+        stats = self.stats
+        obs = self.obs
+        if verb == "drop":
+            stats.record(msg)
+            if obs is not None:
+                obs.on_message(msg, 0)
+            return
+        channel = (msg.src, msg.dst, msg.vnet)
+        last_arrival = self._last_arrival
+        if verb == "reorder":
+            arrival += extra
+        else:
+            if verb == "delay":
+                arrival += extra
+            floor = last_arrival.get(channel, -1) + 1
+            if arrival < floor:
+                arrival = floor
+            last_arrival[channel] = arrival
+        stats.record(msg)
+        if obs is not None:
+            obs.on_message(msg, arrival - now)
+        engine = self.engine
+        handler = self.nodes[msg.dst].handle_message
+        engine.post_at(arrival, handler, msg)
+        if verb == "duplicate":
+            from repro.scenario.faults import clone_message
+
+            copy = clone_message(msg)
+            copy_arrival = arrival + 1
+            last_arrival[channel] = copy_arrival
+            stats.record(copy)
+            if obs is not None:
+                obs.on_message(copy, copy_arrival - now)
+            engine.post_at(copy_arrival, handler, copy)
 
     def deliver_local(self, msg: Message, delay: int = 0) -> None:
         """Deliver a message within one component (no link traversal)."""

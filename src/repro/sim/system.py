@@ -59,6 +59,11 @@ class System:
         self.cores: list[Core] = [core for c in clusters for core in c.cores]
         self.l1s = [l1 for c in clusters for l1 in c.l1s]
         self.monitors = []  # verification hooks called on quiescence checks
+        # Host churn (repro.scenario): cluster index per core position,
+        # deferred program starts, and join/leave counters for metrics.
+        self._core_cluster = [c.index for c in clusters for _ in c.cores]
+        self._join_ticks: dict[int, int] = {}
+        self.host_events = {"join": 0, "leave": 0}
 
     # ------------------------------------------------------------------
     def run_threads(
@@ -77,8 +82,16 @@ class System:
         def on_done(_time, counter=remaining):
             counter["count"] -= 1
 
+        join_ticks = self._join_ticks
         for program, core_index in zip(programs, placement):
-            self.cores[core_index].run_program(program, on_done)
+            core = self.cores[core_index]
+            start = join_ticks.get(self._core_cluster[core_index], 0) \
+                if join_ticks else 0
+            if start:
+                # A late-joining host's threads begin at the join tick.
+                self.engine.post_at(start, core.run_program, program, on_done)
+            else:
+                core.run_program(program, on_done)
         self.engine.run(max_events=max_events)
         if remaining["count"] != 0:
             raise ProtocolError(
@@ -96,6 +109,40 @@ class System:
             events=self.engine.events_executed,
             messages=self.network.stats.messages,
         )
+
+    # ------------------------------------------------------------------
+    def schedule_host_events(self, events: list[tuple[str, int, int]]) -> None:
+        """Register host churn before :meth:`run_threads`.
+
+        ``events`` holds ``(kind, cluster_index, tick)`` triples:
+
+        - ``"join"``  -- the cluster's threads do not start until
+          ``tick`` (the host attaches to the fabric mid-run);
+        - ``"leave"`` -- at ``tick`` every core in the cluster is
+          parked (:meth:`repro.cpu.core.Core.park`): in-flight memory
+          ops and buffered stores drain normally, everything not yet
+          issued is abandoned.
+
+        With no events registered, :meth:`run_threads` is byte-
+        identical to the pre-hook behaviour (programs start inline).
+        """
+        for kind, cluster_index, tick in events:
+            if not 0 <= cluster_index < len(self.clusters):
+                raise ValueError(f"no cluster {cluster_index}")
+            if kind == "join":
+                held = self._join_ticks.get(cluster_index, 0)
+                self._join_ticks[cluster_index] = max(held, tick)
+                self.host_events["join"] += 1
+            elif kind == "leave":
+                self.host_events["leave"] += 1
+                self.engine.post_at(tick, self._park_cluster, cluster_index)
+            else:
+                raise ValueError(f"unknown host event kind {kind!r}")
+
+    def _park_cluster(self, cluster_index: int) -> None:
+        """Park every core of a departing cluster (leave event)."""
+        for core in self.clusters[cluster_index].cores:
+            core.park()
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

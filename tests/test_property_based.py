@@ -169,3 +169,108 @@ def test_single_writer_lines_read_back_final_values(seed):
     for addr, value in finals.items():
         assert result.per_core_regs[0][f"[{addr}]"] == value
     assert system.quiescent()
+
+
+# ---------------------------------------------------------------------------
+# Scenario DSL: random documents round-trip; corruptions are rejected.
+# ---------------------------------------------------------------------------
+
+def _scenario_docs():
+    """Strategy: random *valid* scenario documents."""
+    cluster = st.sampled_from([
+        {"protocol": "MESI", "mcm": "TSO"},
+        {"protocol": "MESI", "mcm": "SC"},
+        {"protocol": "MESIF", "mcm": "WEAK"},
+        {"protocol": "MOESI", "mcm": "TSO"},
+        {"protocol": "RCC", "mcm": "RCC"},
+    ]).map(dict)
+    workload = st.builds(
+        lambda name, scale: {"name": name, "scale": scale},
+        st.sampled_from(["histogram", "word_count", "kmeans"]),
+        st.floats(min_value=0.05, max_value=0.5).map(lambda x: round(x, 3)),
+    )
+    fault = st.builds(
+        lambda kind, vnet, prob, delay, count: {
+            "kind": kind, "vnet": vnet,
+            "probability": round(prob, 3),
+            "count": count,
+            **({"delay_ns": round(delay, 1)}
+               if kind in ("delay", "reorder") else {}),
+        },
+        st.sampled_from(["drop", "duplicate", "delay", "reorder"]),
+        st.sampled_from(["req", "fwd", "resp"]),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=-1, max_value=10),
+    )
+    return st.builds(
+        lambda name, gp, clusters, workloads, root, faults: {
+            "scenario": {"name": name},
+            "topology": {"global_protocol": gp, "clusters": clusters},
+            "workloads": workloads,
+            "seeds": {"root": root},
+            **({"faults": faults} if faults else {}),
+        },
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=16),
+        st.sampled_from(["CXL", "MESI"]),
+        st.lists(cluster, min_size=1, max_size=3),
+        st.lists(workload, min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=1 << 31),
+        st.lists(fault, max_size=3),
+    )
+
+
+@given(doc=_scenario_docs())
+@settings(max_examples=80, deadline=None)
+def test_scenario_dicts_round_trip_through_toml(doc):
+    from repro.scenario.schema import Scenario
+    from repro.scenario.toml_io import loads, dumps
+
+    scenario = Scenario.from_dict(doc)
+    canonical = scenario.to_dict()
+    # TOML text round-trip: dump -> parse -> identical dict.
+    assert loads(dumps(canonical)) == canonical
+    # Dict round-trip: re-validating the canonical form is lossless.
+    assert Scenario.from_dict(canonical) == scenario
+    # And the TOML text itself is a fixpoint.
+    assert Scenario.from_dict(loads(dumps(canonical))).dumps() == \
+        scenario.dumps()
+
+
+@given(doc=_scenario_docs(), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_scenario_single_field_corruptions_rejected(doc, data):
+    """Corrupting any one leaf yields a path-qualified ScenarioError."""
+    import pytest as _pytest
+
+    from repro.scenario.schema import Scenario, ScenarioError
+
+    corruptions = [
+        ("scenario.name", lambda d: d["scenario"].update(name="")),
+        ("topology.global_protocol",
+         lambda d: d["topology"].update(global_protocol="UPI")),
+        ("topology.clusters",
+         lambda d: d["topology"].update(clusters=[])),
+        ("topology.clusters[0].protocol",
+         lambda d: d["topology"]["clusters"][0].update(protocol="FOO")),
+        ("topology.clusters[0].mcm",
+         lambda d: d["topology"]["clusters"][0].update(
+             mcm="RCC" if d["topology"]["clusters"][0]["protocol"] != "RCC"
+             else "TSO")),
+        ("topology.clusters[0].cores",
+         lambda d: d["topology"]["clusters"][0].update(cores=65)),
+        ("workloads[0].name",
+         lambda d: d["workloads"][0].update(name="not-a-kernel")),
+        ("workloads[0].scale",
+         lambda d: d["workloads"][0].update(scale=11.0)),
+        ("seeds.root", lambda d: d["seeds"].update(root=-5)),
+        ("unknown-key", lambda d: d.update(surprise={"x": 1})),
+    ]
+    label, corrupt = data.draw(st.sampled_from(corruptions))
+    Scenario.from_dict(doc)  # sanity: valid before corruption
+    corrupt(doc)
+    with _pytest.raises(ScenarioError) as err:
+        Scenario.from_dict(doc, source="prop.toml")
+    # Path-qualified: source prefix present, never a bare KeyError.
+    assert str(err.value).startswith("prop.toml: ")

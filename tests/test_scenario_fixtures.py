@@ -1,0 +1,48 @@
+"""Regression fixtures: every shrunk scenario must still replay red.
+
+``tests/fixtures/scenarios/*.toml`` are fuzzer findings shrunk to
+1-minimal form; each carries an ``[expect]`` table recording the
+failure it reproduced.  The replay contract -- run it again and it
+fails with exactly that kind -- is what makes them regression tests:
+if a future change silently fixes or morphs the failure, these tests
+say so.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.scenario.runner import matches_expectation, run_scenario
+from repro.scenario.schema import Scenario
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures", "scenarios")
+FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.toml")))
+FIXTURE_IDS = [os.path.basename(p) for p in FIXTURES]
+
+
+def test_fixture_corpus_is_nonempty():
+    """The fuzzer has produced at least one shrunk regression fixture."""
+    assert FIXTURES, (
+        "no fixtures under tests/fixtures/scenarios -- run "
+        "`repro scenario fuzz --defect violate_atomicity --out "
+        "tests/fixtures/scenarios`")
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=FIXTURE_IDS)
+def test_fixture_replays_red(path):
+    scenario = Scenario.load(path)
+    assert scenario.expect_failure is not None, (
+        f"{path} carries no [expect] table; it is not a failure fixture")
+    outcome = run_scenario(scenario)
+    assert outcome["status"] == "fail"
+    assert matches_expectation(scenario, outcome), (
+        f"{scenario.name}: expected {scenario.expect_failure}, "
+        f"got {outcome['failure']}")
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=FIXTURE_IDS)
+def test_fixture_replay_is_deterministic(path):
+    scenario = Scenario.load(path)
+    assert run_scenario(scenario) == run_scenario(scenario)
