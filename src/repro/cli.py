@@ -238,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--cores", type=int, default=2,
                    help="cores per cluster")
+    p.add_argument("--profile", nargs="?", const=25, type=int, default=None,
+                   metavar="N",
+                   help="profile the run under cProfile and print the top N "
+                        "functions by cumulative time (default 25)")
+    p.add_argument("--profile-out", metavar="OUT.pstats", default=None,
+                   help="also dump raw pstats data for snakeviz/pstats "
+                        "(implies --profile)")
     _add_obs_flag(p)
 
     p = sub.add_parser(
@@ -768,9 +775,28 @@ def main(argv=None) -> int:
             print(f"unknown workload {args.name!r}; see `repro list`",
                   file=sys.stderr)
             return 2
+        profile_top = args.profile
+        if args.profile_out is not None and profile_top is None:
+            profile_top = 25
+        profiler = None
+        if profile_top is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         result = run_workload(args.name, combo=args.combo, mcms=args.mcms,
                               cores_per_cluster=args.cores,
                               scale=args.scale, seed=args.seed, obs=args.obs)
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            stats = pstats.Stats(profiler)
+            if args.profile_out:
+                stats.dump_stats(args.profile_out)
+                print(f"pstats dump written to {args.profile_out}",
+                      file=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(profile_top)
         print(f"{args.name} on {'-'.join(args.combo)} ({'/'.join(args.mcms)}):")
         print(f"  execution time : {result.exec_ns:,.0f} ns")
         print(f"  ops            : {result.stats.ops} "

@@ -33,7 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ProtocolError
+from repro.errors import InvariantViolation, ProtocolError
 from repro.protocols import messages as m
 from repro.protocols.variants import ProtocolVariant, WRITE
 from repro.core.policy import BridgePolicy, X_STORE
@@ -41,8 +41,13 @@ from repro.sim.cache import CacheArray, CacheLine
 from repro.sim.engine import Engine
 from repro.sim.network import Network, Node
 
+#: Message kind -> LocalTxn kind, hoisted out of the request hot path.
+_TXN_KIND = {m.GETS: "GetS", m.GETM: "GetM",
+             m.RCC_READ: "RCC_READ", m.RCC_WRITE: "RCC_WRITE"}
+_PUT_KINDS = frozenset((m.PUTS, m.PUTE, m.PUTM, m.PUTO))
 
-@dataclass
+
+@dataclass(slots=True)
 class DirRecord:
     """Local directory view of one line."""
 
@@ -67,7 +72,7 @@ class DirRecord:
         self.f_holder = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalTxn:
     """One in-flight local directory transaction."""
 
@@ -82,7 +87,7 @@ class LocalTxn:
     span: object = None  # repro.obs span handle (None when obs is off)
 
 
-@dataclass
+@dataclass(slots=True)
 class Recall:
     """A downward (global-to-local) reclaim in progress."""
 
@@ -145,6 +150,24 @@ class C3Bridge(Node):
         self.recalls_done = 0
         self.local_txns = 0
 
+        # Local-message dispatch table, built once instead of per message.
+        on_request = self._on_local_request
+        on_response = self._on_local_response
+        self._local_dispatch = {
+            m.GETS: on_request,
+            m.GETM: on_request,
+            m.RCC_READ: on_request,
+            m.RCC_WRITE: on_request,
+            m.PUTS: on_request,
+            m.PUTE: on_request,
+            m.PUTM: on_request,
+            m.PUTO: on_request,
+            m.UNBLOCK: self._on_unblock,
+            m.INV_ACK: on_response,
+            m.WB_DATA: on_response,
+            m.OWNER_ACK: on_response,
+        }
+
     # ------------------------------------------------------------------
     # Line helpers.
     # ------------------------------------------------------------------
@@ -184,28 +207,25 @@ class C3Bridge(Node):
             self.port.handle(msg)
 
     def _handle_local(self, msg: m.Message) -> None:
-        if msg.kind in (m.GETS, m.GETM, m.RCC_READ, m.RCC_WRITE,
-                        m.PUTS, m.PUTE, m.PUTM, m.PUTO):
-            if self.blocked(msg.addr):
-                self.pq_local.setdefault(msg.addr, deque()).append(msg)
-                return
-            self._process_local_request(msg)
-        elif msg.kind == m.UNBLOCK:
-            self._on_unblock(msg)
-        elif msg.kind in (m.INV_ACK, m.WB_DATA, m.OWNER_ACK):
-            self._on_local_response(msg)
-        else:
+        handler = self._local_dispatch.get(msg.kind)
+        if handler is None:
             raise ProtocolError(f"{self.node_id}: unexpected local {msg}")
+        handler(msg)
+
+    def _on_local_request(self, msg: m.Message) -> None:
+        if self.blocked(msg.addr):
+            self.pq_local.setdefault(msg.addr, deque()).append(msg)
+            return
+        self._process_local_request(msg)
 
     # ------------------------------------------------------------------
     # Local requests.
     # ------------------------------------------------------------------
     def _process_local_request(self, msg: m.Message) -> None:
-        if msg.kind in (m.PUTS, m.PUTE, m.PUTM, m.PUTO):
+        if msg.kind in _PUT_KINDS:
             self._process_put(msg)
             return
-        kind = {m.GETS: "GetS", m.GETM: "GetM",
-                m.RCC_READ: "RCC_READ", m.RCC_WRITE: "RCC_WRITE"}[msg.kind]
+        kind = _TXN_KIND[msg.kind]
         txn = LocalTxn(kind=kind, msg=msg, requester=msg.src)
         obs = self.obs
         if obs is not None:
@@ -366,15 +386,18 @@ class C3Bridge(Node):
         txn.was_sharer = (
             requester in rec.sharers or rec.owner == requester
         )
+        out = []
         for sharer in rec.sharers:
             if sharer != requester:
-                self.send(m.Message(m.INV, line.addr, self.node_id, sharer))
+                out.append(m.Message(m.INV, line.addr, self.node_id, sharer))
                 txn.acks_needed += 1
         if rec.owner is not None and rec.owner != requester:
-            self.send(m.Message(m.FWD_GETM, line.addr, self.node_id, rec.owner,
-                                extra={"req": requester}))
+            out.append(m.Message(m.FWD_GETM, line.addr, self.node_id, rec.owner,
+                                 extra={"req": requester}))
             txn.owner_forwarded = True
             txn.acks_needed += 1
+        if out:
+            self.send_many(out)
         if txn.acks_needed == 0:
             self.engine.post(self.latency, self._grant_getm, txn, line.addr)
         else:
@@ -559,13 +582,16 @@ class C3Bridge(Node):
     def _start_recall_flows(self, addr, line, rec, mode, on_done) -> None:
         recall = Recall(mode=mode, on_done=on_done)
         if mode == "inv":
-            for sharer in list(rec.sharers):
-                self.send(m.Message(m.INV, addr, self.node_id, sharer))
+            out = []
+            for sharer in rec.sharers:
+                out.append(m.Message(m.INV, addr, self.node_id, sharer))
                 recall.acks_needed += 1
             if rec.owner is not None:
-                self.send(m.Message(m.FWD_GETM, addr, self.node_id, rec.owner,
-                                    extra={"req": self.node_id}))
+                out.append(m.Message(m.FWD_GETM, addr, self.node_id, rec.owner,
+                                     extra={"req": self.node_id}))
                 recall.acks_needed += 1
+            if out:
+                self.send_many(out)
         else:
             assert rec.owner is not None
             self.send(m.Message(m.FWD_GETS, addr, self.node_id, rec.owner,
@@ -579,6 +605,15 @@ class C3Bridge(Node):
     def _recall_response(self, msg: m.Message) -> None:
         recall = self.recalls[msg.addr]
         line = self.cache.peek(msg.addr)
+        if line is None:
+            # Reachable only when Rule II is broken (violate_atomicity):
+            # the snoop was acknowledged before the recall finished, so
+            # the global side tore the line down while recall responses
+            # were still in flight.
+            raise InvariantViolation(
+                f"{self.node_id}: {msg.kind} recall response for line "
+                f"0x{msg.addr:x} that was torn down mid-recall "
+                f"(Rule II atomicity broken)", addr=msg.addr)
         rec = self.dir_record(line)
         if msg.kind == m.WB_DATA:
             self._apply_wb(line, rec, msg)

@@ -29,7 +29,7 @@ from repro.errors import ProtocolError
 from repro.protocols import messages as m
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingReq:
     """An outstanding global request (MemRd / GetS / GetM)."""
 
@@ -42,7 +42,7 @@ class PendingReq:
     acks_got: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingWb:
     """An outstanding writeback (MemWr / PutM / PutE)."""
 
@@ -146,6 +146,16 @@ class CxlPort(GlobalPort):
         #: addr -> {"snoop": Message, "granted": bool} while a BIConflict
         #: handshake is outstanding.
         self.conflict_state: dict[int, dict] = {}
+        # Message dispatch table, built once instead of per message.
+        self._dispatch = {
+            m.CMP_M: self._on_grant,
+            m.CMP_E: self._on_grant,
+            m.CMP_S: self._on_grant,
+            m.CMP: self._on_wb_done,
+            m.BI_SNP_INV: self._on_snoop,
+            m.BI_SNP_DATA: self._on_snoop,
+            m.BI_CONFLICT_ACK: self._on_conflict_ack,
+        }
 
     # -- requests ----------------------------------------------------------
     def request(self, addr, want, on_grant) -> None:
@@ -164,17 +174,10 @@ class CxlPort(GlobalPort):
 
     # -- message handling ---------------------------------------------------
     def handle(self, msg: m.Message) -> None:
-        kind = msg.kind
-        if kind in (m.CMP_M, m.CMP_E, m.CMP_S):
-            self._on_grant(msg)
-        elif kind == m.CMP:
-            self._on_wb_done(msg)
-        elif kind in (m.BI_SNP_INV, m.BI_SNP_DATA):
-            self._on_snoop(msg)
-        elif kind == m.BI_CONFLICT_ACK:
-            self._on_conflict_ack(msg)
-        else:
+        handler = self._dispatch.get(msg.kind)
+        if handler is None:
             raise ProtocolError(f"{self.bridge.node_id}: unexpected global {msg}")
+        handler(msg)
 
     def _on_grant(self, msg: m.Message) -> None:
         addr = msg.addr
@@ -315,6 +318,19 @@ class CxlPort(GlobalPort):
 class MesiPort(GlobalPort):
     """Hierarchical global-MESI client (baseline MESI-MESI-MESI systems)."""
 
+    def __init__(self, bridge, home_id: str) -> None:
+        super().__init__(bridge, home_id)
+        # Message dispatch table, built once instead of per message.
+        self._dispatch = {
+            m.DATA: self._on_dir_grant,
+            m.DATA_OWNER: self._on_owner_data,
+            m.INV_ACK: self._on_inv_ack,
+            m.INV: self._on_inv,
+            m.FWD_GETS: self._on_fwd,
+            m.FWD_GETM: self._on_fwd,
+            m.PUT_ACK: self._on_put_ack,
+        }
+
     # -- requests ----------------------------------------------------------
     def request(self, addr, want, on_grant) -> None:
         self.pending[addr] = PendingReq(want=want, on_grant=on_grant)
@@ -342,21 +358,10 @@ class MesiPort(GlobalPort):
 
     # -- message handling ---------------------------------------------------
     def handle(self, msg: m.Message) -> None:
-        kind = msg.kind
-        if kind == m.DATA:
-            self._on_dir_grant(msg)
-        elif kind == m.DATA_OWNER:
-            self._on_owner_data(msg)
-        elif kind == m.INV_ACK:
-            self._on_inv_ack(msg)
-        elif kind == m.INV:
-            self._on_inv(msg)
-        elif kind in (m.FWD_GETS, m.FWD_GETM):
-            self._on_fwd(msg)
-        elif kind == m.PUT_ACK:
-            self._on_put_ack(msg)
-        else:
+        handler = self._dispatch.get(msg.kind)
+        if handler is None:
             raise ProtocolError(f"{self.bridge.node_id}: unexpected global {msg}")
+        handler(msg)
 
     def _on_dir_grant(self, msg: m.Message) -> None:
         pending = self.pending.get(msg.addr)
@@ -494,8 +499,11 @@ class MesiPort(GlobalPort):
             else:
                 line.state = "II_A"
         else:
-            self._send(m.DATA_OWNER, addr, dst=requester, meta="S", data=line.data)
-            self._send(m.WB_DATA, addr, data=line.data)
+            src = self.bridge.node_id
+            self.bridge.send_many((
+                m.Message(m.DATA_OWNER, addr, src, requester, meta="S", data=line.data),
+                m.Message(m.WB_DATA, addr, src, self.home_id, data=line.data),
+            ))
             line.state = "S" if addr not in self.wb else "II_A"
             line.dirty = False
 

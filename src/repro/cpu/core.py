@@ -28,7 +28,7 @@ from repro.cpu.mcm import DONE, ISSUED, PEND, RETIRED, SCHED, make_mcm
 from repro.sim.engine import Engine
 
 
-@dataclass
+@dataclass(slots=True)
 class SBEntry:
     """A store sitting in the store buffer."""
 
@@ -154,32 +154,43 @@ class Core:
 
     def _scan(self) -> None:
         self._scan_pending = False
+        ops = self.ops
+        status = self.status
+        mcm = self.mcm
+        fence_done = mcm.fence_done
+        can_issue = mcm.can_issue
+        uses_sb = mcm.uses_store_buffer
+        sb_entries = self.sb_entries
+        n = len(ops)
         progress = True
         while progress:
             progress = False
             head = self._head()
-            if head == len(self.ops):
-                if not self.sb and all(s == DONE for s in self.status):
+            if head == n:
+                if not self.sb and all(s == DONE for s in status):
                     if self.finish_time is None:
                         self._finish()
                     return
-            limit = min(len(self.ops), head + self.window)
+            limit = head + self.window
+            if limit > n:
+                limit = n
             for i in range(head, limit):
-                if self.status[i] != PEND:
+                if status[i] != PEND:
                     continue
-                op = self.ops[i]
-                if op.kind == FENCE:
-                    if self.mcm.fence_done(i, self):
-                        self.status[i] = DONE
+                op = ops[i]
+                kind = op.kind
+                if kind == FENCE:
+                    if fence_done(i, self):
+                        status[i] = DONE
                         progress = True
                     continue
-                if not self.mcm.can_issue(i, self):
+                if not can_issue(i, self):
                     continue
-                if op.is_write and self.mcm.uses_store_buffer and op.kind != RMW:
-                    if len(self.sb) >= self.sb_entries:
+                if uses_sb and op.is_write and kind != RMW:
+                    if len(self.sb) >= sb_entries:
                         continue
                 if op.gap > 0:
-                    self.status[i] = SCHED
+                    status[i] = SCHED
                     self.engine.post(op.gap * self.cycle, self._issue, i)
                 else:
                     self._issue(i)
@@ -197,23 +208,38 @@ class Core:
         if the line was stolen in between -- exactly an x86 squash).
         """
         head = self._head()
-        for i in range(head, min(len(self.ops), head + self.window)):
-            if self.status[i] != PEND or i in self._prefetched:
+        ops = self.ops
+        status = self.status
+        prefetched = self._prefetched
+        fifo_sb = self.mcm.sb_parallelism == 1
+        l1 = self.l1
+        limit = head + self.window
+        n = len(ops)
+        if limit > n:
+            limit = n
+        for i in range(head, limit):
+            if status[i] != PEND or i in prefetched:
                 continue
-            op = self.ops[i]
+            op = ops[i]
             if op.kind == FENCE:
                 continue
-            if op.is_write and self.mcm.sb_parallelism == 1:
+            is_write = op.is_write
+            if is_write and fifo_sb:
                 # TSO: store-miss overlap is bounded by the FIFO store
                 # buffer's own ownership prefetches, not the window.
                 continue
-            if any(self.status[d] != DONE for d in op.deps):
+            deps_done = True
+            for d in op.deps:
+                if status[d] != DONE:
+                    deps_done = False
+                    break
+            if not deps_done:
                 continue
-            self._prefetched.add(i)
-            kind = "PREFETCH_M" if op.is_write else "PREFETCH_S"
-            if self.l1.would_hit(op.kind, op.addr):
+            prefetched.add(i)
+            if l1.would_hit(op.kind, op.addr):
                 continue
-            self.l1.core_request(kind, op.addr, 0, lambda _v: None)
+            l1.core_request("PREFETCH_M" if is_write else "PREFETCH_S",
+                            op.addr, 0, lambda _v: None)
 
     def _issue(self, i: int) -> None:
         op = self.ops[i]
@@ -258,30 +284,46 @@ class Core:
     PREFETCH_DEPTH = 3
 
     def _drain_sb(self) -> None:
-        inflight = sum(1 for e in self.sb if e.draining)
-        for pos, entry in enumerate(self.sb):
-            if inflight >= self.mcm.sb_parallelism:
-                break
-            if entry.draining:
-                continue
-            if any(earlier.addr == entry.addr for earlier in self.sb[:pos]):
-                continue  # per-address FIFO: wait until the older store leaves
-            if self.mcm.sb_parallelism == 1 and pos != _first_undrained(self.sb):
-                continue  # strict FIFO (TSO)
-            entry.draining = True
-            inflight += 1
-            self.l1.core_request(
-                entry.kind,
-                entry.addr,
-                entry.value,
-                lambda _v, e=entry: self._store_performed(e),
-            )
+        sb = self.sb
+        if not sb:
+            return
+        parallelism = self.mcm.sb_parallelism
+        l1_request = self.l1.core_request
+        inflight = 0
+        for e in sb:
+            if e.draining:
+                inflight += 1
+        if inflight < parallelism:
+            # Addresses of entries *before* the current position; an
+            # older same-address store must leave the buffer first.
+            prior_addrs: set[int] = set()
+            for pos, entry in enumerate(sb):
+                if inflight >= parallelism:
+                    break
+                addr = entry.addr
+                if entry.draining:
+                    prior_addrs.add(addr)
+                    continue
+                if addr in prior_addrs:
+                    prior_addrs.add(addr)
+                    continue  # per-address FIFO: wait for the older store
+                prior_addrs.add(addr)
+                if parallelism == 1 and pos != _first_undrained(sb):
+                    continue  # strict FIFO (TSO)
+                entry.draining = True
+                inflight += 1
+                l1_request(
+                    entry.kind,
+                    entry.addr,
+                    entry.value,
+                    lambda _v, e=entry: self._store_performed(e),
+                )
         # Overlap upcoming store misses: ownership prefetches for the
         # next few distinct lines (no ordering effect -- commits above
         # still happen strictly in drain order).
         prefetched = 0
         seen: set[int] = set()
-        for entry in self.sb:
+        for entry in sb:
             if prefetched >= self.PREFETCH_DEPTH:
                 break
             if entry.addr in seen:
@@ -291,7 +333,7 @@ class Core:
                 continue
             entry.prefetched = True
             prefetched += 1
-            self.l1.core_request("PREFETCH_M", entry.addr, 0, lambda _v: None)
+            l1_request("PREFETCH_M", entry.addr, 0, lambda _v: None)
 
     def _store_performed(self, entry: SBEntry) -> None:
         self.sb.remove(entry)

@@ -59,24 +59,20 @@ class Op:
     fence_kind: str = FENCE_FULL
     deps: tuple[int, ...] = ()
     gap: int = 0
+    #: Derived classification flags; plain fields (not properties) so the
+    #: MCM ordering scans pay an attribute load, not a function call.
+    is_read: bool = field(init=False, repr=False, compare=False, default=False)
+    is_write: bool = field(init=False, repr=False, compare=False, default=False)
+    is_fence: bool = field(init=False, repr=False, compare=False, default=False)
 
     def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
             raise ValueError(f"unknown op kind {self.kind!r}")
         if self.kind == FENCE and self.fence_kind not in FENCE_KINDS:
             raise ValueError(f"unknown fence kind {self.fence_kind!r}")
-
-    @property
-    def is_read(self) -> bool:
-        return self.kind in READS
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind in WRITES
-
-    @property
-    def is_fence(self) -> bool:
-        return self.kind == FENCE
+        self.is_read = self.kind in READS
+        self.is_write = self.kind in WRITES
+        self.is_fence = self.kind == FENCE
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind == FENCE:

@@ -83,23 +83,33 @@ class MCMEngine:
 
     @staticmethod
     def _deps_done(op: Op, core) -> bool:
-        return all(core.status[d] == DONE for d in op.deps)
+        status = core.status
+        for d in op.deps:
+            if status[d] != DONE:
+                return False
+        return True
 
     @staticmethod
     def _all_prior_done(i: int, core) -> bool:
         start = core.done_base() if hasattr(core, "done_base") else 0
-        return all(core.status[j] == DONE for j in range(start, i))
+        status = core.status
+        for j in range(start, i):
+            if status[j] != DONE:
+                return False
+        return True
 
     @staticmethod
     def _prior_reads_done_writes_retired(i: int, core) -> bool:
         """TSO retire condition: loads performed, stores at least buffered."""
         start = core.retired_base() if hasattr(core, "retired_base") else 0
+        ops = core.ops
+        status = core.status
         for j in range(start, i):
-            op = core.ops[j]
+            op = ops[j]
             if op.is_write and op.kind != RMW:
-                if core.status[j] < RETIRED:
+                if status[j] < RETIRED:
                     return False
-            elif core.status[j] != DONE:
+            elif status[j] != DONE:
                 return False
         return True
 
@@ -156,32 +166,34 @@ class WeakEngine(MCMEngine):
     sb_parallelism = 8
 
     def can_issue(self, i: int, core) -> bool:
-        op = core.ops[i]
-        if not self._deps_done(op, core):
-            return False
+        ops = core.ops
+        statuses = core.status
+        op = ops[i]
+        for d in op.deps:
+            if statuses[d] != DONE:
+                return False
         # Ops before retired_base: fences/acquires/RMWs/reads are DONE
         # and writes >= RETIRED -- every constraint below is satisfied.
         start = core.retired_base() if hasattr(core, "retired_base") else 0
+        op_addr = op.addr
+        op_is_write = op.is_write
         for j in range(start, i):
-            prior = core.ops[j]
-            status = core.status[j]
-            if prior.kind == FENCE:
-                if prior.fence_kind == FENCE_FULL and status != DONE:
-                    return False
-                if prior.fence_kind == FENCE_LD and status != DONE:
-                    # dmb ld orders prior loads with all later ops.
-                    return False
-                if (
-                    prior.fence_kind == FENCE_ST
-                    and op.is_write
-                    and status != DONE
-                ):
-                    return False
-            elif prior.kind in (LOAD_ACQ, RMW) and status != DONE:
+            prior = ops[j]
+            status = statuses[j]
+            kind = prior.kind
+            if kind == FENCE:
+                if status != DONE:
+                    fk = prior.fence_kind
+                    if fk == FENCE_FULL or fk == FENCE_LD:
+                        # dmb ld orders prior loads with all later ops.
+                        return False
+                    if fk == FENCE_ST and op_is_write:
+                        return False
+            elif (kind == LOAD_ACQ or kind == RMW) and status != DONE:
                 # Acquire (and acquire-flavoured atomics): no later op
                 # may perform before it.
                 return False
-            elif prior.addr == op.addr and not prior.is_fence:
+            elif prior.addr == op_addr:
                 # Same-address (coherence) order: prior reads must be
                 # done; prior writes must at least be buffered (loads
                 # then forward from the store buffer).

@@ -20,3 +20,19 @@ class UnknownProtocolError(ProtocolError):
 
 class ConsistencyViolation(AssertionError):
     """An invariant monitor observed a violation (SWMR, value, inclusion)."""
+
+
+class InvariantViolation(ConsistencyViolation):
+    """A typed invariant break raised at the point of corruption.
+
+    Unlike the periodic monitors (which observe a violation after the
+    fact), controllers raise this the moment a protocol action would
+    corrupt state -- e.g. a recall response arriving for a line that was
+    torn down mid-recall under a broken Rule II.  ``addr`` carries the
+    offending line so harnesses can report it without parsing the
+    message.
+    """
+
+    def __init__(self, message: str, addr: int | None = None) -> None:
+        super().__init__(message)
+        self.addr = addr

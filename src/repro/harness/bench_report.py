@@ -35,6 +35,7 @@ BENCH_FILES = (
     "BENCH_fuzz.json",
     "BENCH_lint.json",
     "BENCH_obs.json",
+    "BENCH_sim.json",
     "BENCH_sweep.json",
 )
 

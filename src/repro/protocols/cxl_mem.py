@@ -33,7 +33,7 @@ from repro.sim.network import Network, Node
 __all__ = ["Dcoh", "CXL_MESSAGE_EQUIVALENCE"]
 
 
-@dataclass
+@dataclass(slots=True)
 class HomeLine:
     """DCOH directory entry."""
 
@@ -42,7 +42,7 @@ class HomeLine:
     sharers: set[str] = field(default_factory=set)
 
 
-@dataclass
+@dataclass(slots=True)
 class DcohTxn:
     """One blocking DCOH transaction."""
 
@@ -77,6 +77,14 @@ class Dcoh(Node):
         self.conflicts_acked = 0
         self.queued_total = 0
         self.queue_wait_ticks = 0
+        # Message dispatch table, built once instead of per message.
+        self._dispatch = {
+            m.BI_CONFLICT: self._on_bi_conflict,
+            m.MEM_RD: self._on_mem_rd,
+            m.MEM_WR: self._on_mem_wr,
+            m.BI_RSP_I: self._on_snoop_rsp,
+            m.BI_RSP_S: self._on_snoop_rsp,
+        }
 
     def line(self, addr: int) -> HomeLine:
         """The directory entry for ``addr`` (created on first touch)."""
@@ -88,27 +96,23 @@ class Dcoh(Node):
 
     # ------------------------------------------------------------------
     def handle_message(self, msg: m.Message) -> None:
-        """Process one incoming CXL.mem request/response."""
-        kind = msg.kind
-        if kind == m.BI_CONFLICT:
-            # Answered immediately, never queued: the handshake must cut
-            # through an in-progress transaction.
-            self.conflicts_acked += 1
-            self.send(m.Message(m.BI_CONFLICT_ACK, msg.addr, self.node_id, msg.src))
-            return
-        if kind == m.MEM_RD:
-            if msg.addr in self.busy:
-                self._enqueue(msg)
-            else:
-                self._start_read(msg)
-            return
-        if kind == m.MEM_WR:
-            self._on_mem_wr(msg)
-            return
-        if kind in (m.BI_RSP_I, m.BI_RSP_S):
-            self._on_snoop_rsp(msg)
-            return
-        raise ProtocolError(f"{self.node_id}: unexpected {msg}")
+        """Process one incoming CXL.mem request/response (precomputed table)."""
+        handler = self._dispatch.get(msg.kind)
+        if handler is None:
+            raise ProtocolError(f"{self.node_id}: unexpected {msg}")
+        handler(msg)
+
+    def _on_bi_conflict(self, msg: m.Message) -> None:
+        # Answered immediately, never queued: the handshake must cut
+        # through an in-progress transaction.
+        self.conflicts_acked += 1
+        self.send(m.Message(m.BI_CONFLICT_ACK, msg.addr, self.node_id, msg.src))
+
+    def _on_mem_rd(self, msg: m.Message) -> None:
+        if msg.addr in self.busy:
+            self._enqueue(msg)
+        else:
+            self._start_read(msg)
 
     def _enqueue(self, msg: m.Message) -> None:
         self.queues.setdefault(msg.addr, deque()).append((msg, self.engine.now))
@@ -138,9 +142,9 @@ class Dcoh(Node):
             self._grant(addr)
             return
         snoop = m.BI_SNP_INV if txn.kind == "RdA" else m.BI_SNP_DATA
-        for host in targets:
-            self.send(m.Message(snoop, addr, self.node_id, host))
-            self.snoops_sent += 1
+        self.send_many(
+            [m.Message(snoop, addr, self.node_id, host) for host in targets])
+        self.snoops_sent += len(targets)
 
     def _on_snoop_rsp(self, msg: m.Message) -> None:
         txn = self.busy.get(msg.addr)

@@ -24,7 +24,7 @@ from repro.sim.memctrl import BackingStore, MemoryModel
 from repro.sim.network import Network, Node
 
 
-@dataclass
+@dataclass(slots=True)
 class GLine:
     state: str = "I"  # I | S | M (M covers exclusive-clean owners)
     owner: str | None = None
@@ -53,6 +53,15 @@ class GlobalMesiDir(Node):
         self.transactions = 0
         self.forwards_sent = 0
         self.invs_sent = 0
+        # Message dispatch table, built once instead of per message.
+        self._dispatch = {
+            m.GETS: self._on_get,
+            m.GETM: self._on_get,
+            m.WB_DATA: self._on_wb_data,
+            m.PUTS: self._on_put,
+            m.PUTE: self._on_put,
+            m.PUTM: self._on_put,
+        }
 
     def line(self, addr: int) -> GLine:
         """The directory entry for ``addr`` (created on first touch)."""
@@ -64,27 +73,28 @@ class GlobalMesiDir(Node):
 
     # ------------------------------------------------------------------
     def handle_message(self, msg: m.Message) -> None:
-        """Process one incoming request/writeback."""
-        kind = msg.kind
-        if kind in (m.GETS, m.GETM):
-            line = self.line(msg.addr)
-            if line.data_pending:
-                self.queues.setdefault(msg.addr, deque()).append(msg)
-                return
-            self.transactions += 1
-            if kind == m.GETS:
-                self._on_gets(msg, line)
-            else:
-                self._on_getm(msg, line)
-        elif kind == m.WB_DATA:
-            self.backing.write(msg.addr, msg.data)
-            line = self.line(msg.addr)
-            line.data_pending = False
-            self._drain(msg.addr)
-        elif kind in (m.PUTS, m.PUTE, m.PUTM):
-            self._on_put(msg)
-        else:
+        """Process one incoming request/writeback (precomputed table)."""
+        handler = self._dispatch.get(msg.kind)
+        if handler is None:
             raise ProtocolError(f"{self.node_id}: unexpected {msg}")
+        handler(msg)
+
+    def _on_get(self, msg: m.Message) -> None:
+        line = self.line(msg.addr)
+        if line.data_pending:
+            self.queues.setdefault(msg.addr, deque()).append(msg)
+            return
+        self.transactions += 1
+        if msg.kind == m.GETS:
+            self._on_gets(msg, line)
+        else:
+            self._on_getm(msg, line)
+
+    def _on_wb_data(self, msg: m.Message) -> None:
+        self.backing.write(msg.addr, msg.data)
+        line = self.line(msg.addr)
+        line.data_pending = False
+        self._drain(msg.addr)
 
     # ------------------------------------------------------------------
     def _on_gets(self, msg: m.Message, line: GLine) -> None:
@@ -119,10 +129,12 @@ class GlobalMesiDir(Node):
             line.state = "M"
             return
         targets = line.sharers - {requester}
-        for sharer in targets:
-            self.send(m.Message(m.INV, addr, self.node_id, sharer,
-                                extra={"req": requester}))
-            self.invs_sent += 1
+        if targets:
+            self.send_many([
+                m.Message(m.INV, addr, self.node_id, sharer,
+                          extra={"req": requester})
+                for sharer in targets])
+            self.invs_sent += len(targets)
         line.owner = requester
         line.sharers = set()
         line.state = "M"

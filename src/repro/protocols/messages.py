@@ -24,7 +24,6 @@ equivalents) is encoded in :data:`CXL_MESSAGE_EQUIVALENCE`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 VNET_REQ = 0
@@ -149,7 +148,13 @@ def message_bytes(kind: str) -> int:
     return DATA_BYTES if kind in _DATA_KINDS else CONTROL_BYTES
 
 
-@dataclass(slots=True)
+#: Precomputed wire size per kind, so constructing a message resolves
+#: vnet and size with two dict loads instead of per-access properties.
+_MESSAGE_BYTES = {kind: message_bytes(kind) for kind in MESSAGE_VNET}
+
+_next_uid = _msg_counter.__next__
+
+
 class Message:
     """A coherence message in flight.
 
@@ -157,27 +162,47 @@ class Message:
     ``data`` the 64-byte line modelled as a single integer value;
     ``acks`` an expected-ack count; ``extra`` anything protocol-specific
     (e.g. the requester a forward should reply to).
+
+    This is the hottest allocation in the simulator (one per coherence
+    hop), so it is a hand-rolled ``__slots__`` class rather than a
+    dataclass: ``vnet`` and ``size`` are resolved once at construction
+    (they are pure functions of ``kind``), and the ``extra`` dict --
+    which most messages never touch -- is allocated lazily on first
+    access instead of per message.
     """
 
-    kind: str
-    addr: int
-    src: str
-    dst: str
-    meta: str | None = None
-    data: int | None = None
-    acks: int = 0
-    extra: dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_msg_counter))
+    __slots__ = ("kind", "addr", "src", "dst", "meta", "data", "acks",
+                 "uid", "vnet", "size", "_extra")
+
+    def __init__(self, kind: str, addr: int, src: str, dst: str,
+                 meta: str | None = None, data: int | None = None,
+                 acks: int = 0, extra: dict[str, Any] | None = None,
+                 uid: int | None = None) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.src = src
+        self.dst = dst
+        self.meta = meta
+        self.data = data
+        self.acks = acks
+        self._extra = extra
+        self.uid = _next_uid() if uid is None else uid
+        self.vnet = MESSAGE_VNET[kind]
+        self.size = _MESSAGE_BYTES[kind]
 
     @property
-    def vnet(self) -> int:
-        return MESSAGE_VNET[self.kind]
-
-    @property
-    def size(self) -> int:
-        return message_bytes(self.kind)
+    def extra(self) -> dict[str, Any]:
+        ex = self._extra
+        if ex is None:
+            ex = self._extra = {}
+        return ex
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         meta = f",{self.meta}" if self.meta else ""
         data = f" data={self.data}" if self.data is not None else ""
         return f"{self.kind}{meta}(0x{self.addr:x}) {self.src}->{self.dst}{data}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(kind={self.kind!r}, addr={self.addr:#x}, "
+                f"src={self.src!r}, dst={self.dst!r}, meta={self.meta!r}, "
+                f"data={self.data!r}, acks={self.acks}, uid={self.uid})")

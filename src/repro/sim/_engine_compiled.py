@@ -12,6 +12,7 @@ batched engine.
 
 from __future__ import annotations
 
+import gc as _gc
 import time as _time_mod
 from typing import Any, Callable
 
@@ -64,11 +65,16 @@ def compiled_engine_class(build: bool = True) -> type | None:
             if self.sampler is not None:
                 return self._run_sampled(until, max_events)
             self._running = True
+            gc_enabled = _gc.isenabled()
+            if gc_enabled:
+                _gc.disable()
             try:
                 status = self._drain(-1 if until is None else until,
                                      -1 if max_events is None else max_events)
             finally:
                 self._running = False
+                if gc_enabled:
+                    _gc.enable()
             if status:
                 raise SimulationLimitError(self.stall_digest(max_events))
             return self.now

@@ -7,21 +7,46 @@ Addresses throughout the simulator are *line* addresses (one integer per
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.sim.config import LINE_BYTES
 
 
-@dataclass
 class CacheLine:
-    """One cache line: protocol state, value, and protocol scratch space."""
+    """One cache line: protocol state, value, and protocol scratch space.
 
-    addr: int
-    state: str = "I"
-    data: int | None = None
-    dirty: bool = False
-    meta: dict[str, Any] = field(default_factory=dict)
+    Slotted, with the ``meta`` scratch dict materialized on first
+    access: most resident lines (every L1 line, and any home line the
+    directory never annotates) carry no scratch state, so the common
+    case is five fixed slots and no dict allocation at all.
+    """
+
+    __slots__ = ("addr", "state", "data", "dirty", "_meta")
+
+    def __init__(self, addr: int, state: str = "I", data: int | None = None,
+                 dirty: bool = False,
+                 meta: dict[str, Any] | None = None) -> None:
+        self.addr = addr
+        self.state = state
+        self.data = data
+        self.dirty = dirty
+        self._meta = meta
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
+
+    @meta.setter
+    def meta(self, value: dict[str, Any]) -> None:
+        self._meta = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CacheLine(addr={self.addr:#x}, state={self.state!r}, "
+                f"data={self.data!r}, dirty={self.dirty}, "
+                f"meta={self._meta or {}})")
 
 
 class CacheArray:

@@ -41,6 +41,7 @@ semantics, but no handle is created and the event cannot be cancelled.
 
 from __future__ import annotations
 
+import gc as _gc
 import heapq
 import os
 import sys
@@ -183,6 +184,37 @@ class BatchedEngine:
             buckets[time] = [bucket, (callback, args)]
         self._posted += 1
 
+    def post_many(self, items) -> None:
+        """Schedule a batch of ``(time, callback, args)`` records at once.
+
+        ``items`` is an iterable of triples with *absolute* tick times
+        and an args **tuple** (possibly empty).  Semantics are exactly N
+        sequential :meth:`post_at` calls -- same insertion order, same
+        FIFO position among same-tick events, same past-time error --
+        but the bucket/heap locals are bound once per batch instead of
+        once per event.  This is the network layer's bulk-delivery
+        primitive (see :meth:`repro.sim.network.Network.send_many`).
+        """
+        now = self.now
+        buckets = self._buckets
+        ticks = self._ticks
+        heappush = _heappush
+        n = 0
+        for time, callback, args in items:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule into the past (t={time} < now={now})")
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = (callback, args)
+                heappush(ticks, time)
+            elif bucket.__class__ is list:
+                bucket.append((callback, args))
+            else:
+                buckets[time] = [bucket, (callback, args)]
+            n += 1
+        self._posted += n
+
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ticks from now.
 
@@ -246,6 +278,9 @@ class BatchedEngine:
         if self.sampler is not None:
             return self._run_sampled(until, max_events)
         self._running = True
+        gc_enabled = _gc.isenabled()
+        if gc_enabled:
+            _gc.disable()
         ticks = self._ticks
         buckets = self._buckets
         heappop = _heappop
@@ -306,6 +341,8 @@ class BatchedEngine:
         finally:
             self._running = False
             self.events_executed += executed
+            if gc_enabled:
+                _gc.enable()
         return self.now
 
     def _run_sampled(self, until: int | None, max_events: int | None) -> int:
@@ -321,6 +358,9 @@ class BatchedEngine:
         perf = _time_mod.perf_counter
         every = sampler.sample_every
         self._running = True
+        gc_enabled = _gc.isenabled()
+        if gc_enabled:
+            _gc.disable()
         ticks = self._ticks
         buckets = self._buckets
         heappop = _heappop
@@ -368,6 +408,8 @@ class BatchedEngine:
         finally:
             self._running = False
             self.events_executed += executed
+            if gc_enabled:
+                _gc.enable()
         return self.now
 
     # -- run() cold-path helpers ---------------------------------------
@@ -511,6 +553,20 @@ class LegacyEngine:
         """Schedule at absolute tick ``time``, discarding the handle."""
         self.schedule(time - self.now, callback, *args)
 
+    def post_many(self, items) -> None:
+        """Batch spelling of :meth:`post_at`: N sequential schedules."""
+        now = self.now
+        queue = self._queue
+        heappush = _heappush
+        seq = self._seq
+        for time, callback, args in items:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule into the past (t={time} < now={now})")
+            heappush(queue, (time, seq, LegacyEvent(time, seq, callback, args)))
+            seq += 1
+        self._seq = seq
+
     def pending(self) -> int:
         """Number of events still in the queue (including cancelled)."""
         return len(self._queue)
@@ -525,6 +581,9 @@ class LegacyEngine:
         if self.sampler is not None:
             return self._run_sampled(until, max_events)
         self._running = True
+        gc_enabled = _gc.isenabled()
+        if gc_enabled:
+            _gc.disable()
         executed = 0
         queue = self._queue
         heappop = _heappop
@@ -546,6 +605,8 @@ class LegacyEngine:
         finally:
             self._running = False
             self.events_executed += executed
+            if gc_enabled:
+                _gc.enable()
         return self.now
 
     def _run_sampled(self, until: int | None, max_events: int | None) -> int:
@@ -553,6 +614,9 @@ class LegacyEngine:
         perf = _time_mod.perf_counter
         every = sampler.sample_every
         self._running = True
+        gc_enabled = _gc.isenabled()
+        if gc_enabled:
+            _gc.disable()
         executed = 0
         queue = self._queue
         heappop = _heappop
@@ -578,6 +642,8 @@ class LegacyEngine:
         finally:
             self._running = False
             self.events_executed += executed
+            if gc_enabled:
+                _gc.enable()
         return self.now
 
     def stall_digest(self, max_events: int | None = None) -> str:

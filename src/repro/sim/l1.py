@@ -48,7 +48,7 @@ FWD_GETS_OK = FORWARDABLE | {"S", "SM_A"}
 FWD_GETM_OK = FORWARDABLE | {"SM_A"}
 
 
-@dataclass
+@dataclass(slots=True)
 class Mshr:
     """Miss-status holding register: one outstanding transaction per line."""
 
@@ -354,22 +354,24 @@ class L1Controller(Node):
         if line.state == "SM_A":
             # An O/F holder whose own upgrade is queued behind this
             # transaction: serve the data, stay in SM_A (data intact).
+            out = []
             if requester != self.dir_id:
                 grant = "F" if self.variant.has_f_state else "S"
-                self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
-                                    meta=grant, data=line.data))
+                out.append(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
+                                     meta=grant, data=line.data))
             if line.dirty:
                 # Dirty O-owner demoting to sharer: the data must reach
                 # the directory or the cluster cache stays stale while
                 # no owner exists to recall it from.
-                self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id,
-                                    data=line.data, extra={"dirty": True}))
+                out.append(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id,
+                                     data=line.data, extra={"dirty": True}))
             elif requester == self.dir_id:
-                self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id,
-                                    data=line.data, extra={"dirty": False}))
+                out.append(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id,
+                                     data=line.data, extra={"dirty": False}))
             else:
-                self.send(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
-                                    extra={"kept": "S", "dirty": False}))
+                out.append(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
+                                     extra={"kept": "S", "dirty": False}))
+            self.send_many(out)
             return
         data = line.data
         dirty = line.dirty
@@ -380,21 +382,22 @@ class L1Controller(Node):
             self._downgrade_after_fwd_gets(line)
             return
         grant = "F" if self.variant.has_f_state else "S"
-        self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester, meta=grant, data=data))
+        first = m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester, meta=grant, data=data)
         if line.state in ("MI_A", "EI_A", "OI_A", "FI_A"):
             # Eviction race: hand the data to the directory too, so the
             # cluster cache is current regardless of what happens to the
             # (now stale) Put* in flight.
-            self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
-                                extra={"dirty": dirty}))
+            second = m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
+                               extra={"dirty": dirty})
         elif line.state == "M" and not self.variant.has_o_state:
             # MESI/MESIF: dirty data also goes back to the directory.
-            self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
-                                extra={"dirty": True}))
+            second = m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
+                               extra={"dirty": True})
         else:
             kept = self._kept_after_fwd_gets(line)
-            self.send(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
-                                extra={"kept": kept, "dirty": dirty}))
+            second = m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
+                               extra={"kept": kept, "dirty": dirty})
+        self.send_many((first, second))
         self._downgrade_after_fwd_gets(line)
 
     def _kept_after_fwd_gets(self, line: CacheLine) -> str:
@@ -431,10 +434,12 @@ class L1Controller(Node):
                 self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id,
                                     data=line.data, extra={"dirty": line.dirty, "inv": True}))
             else:
-                self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
-                                    meta="M", data=line.data))
-                self.send(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
-                                    extra={"kept": "I", "dirty": line.dirty}))
+                self.send_many((
+                    m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
+                              meta="M", data=line.data),
+                    m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
+                              extra={"kept": "I", "dirty": line.dirty}),
+                ))
             line.state = "IM_D"
             line.data = None
             line.dirty = False
@@ -449,10 +454,12 @@ class L1Controller(Node):
             self.send(m.Message(m.WB_DATA, msg.addr, self.node_id, self.dir_id, data=data,
                                 extra={"dirty": dirty, "inv": True}))
         else:
-            self.send(m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
-                                meta="M", data=data))
-            self.send(m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
-                                extra={"kept": "I", "dirty": dirty}))
+            self.send_many((
+                m.Message(m.DATA_OWNER, msg.addr, self.node_id, requester,
+                          meta="M", data=data),
+                m.Message(m.OWNER_ACK, msg.addr, self.node_id, self.dir_id,
+                          extra={"kept": "I", "dirty": dirty}),
+            ))
         if line.state in ("MI_A", "EI_A", "OI_A"):
             line.state = "II_A"
         else:

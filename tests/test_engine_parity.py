@@ -212,3 +212,178 @@ def test_obs_rollups_identical_across_backends(monkeypatch, violate):
         assert rollup == reference, (
             f"backend {name!r} produced different span/metric rollups "
             f"(violate={violate})")
+
+
+# ---------------------------------------------------------------------------
+# Network lanes: the bulk fast lane vs generic post_many vs sequential
+# sends must be invisible -- per engine backend, with and without
+# faults, and under observability.
+# ---------------------------------------------------------------------------
+
+def _generic_send_many(self, msgs):
+    self._send_many_generic(msgs)
+
+
+def _sequential_send_many(self, msgs):
+    for msg in msgs:
+        self.send(msg)
+
+
+#: (name, Network.send_many override or None for the stock lane).
+LANES = [("fast", None),
+         ("generic", _generic_send_many),
+         ("sequential", _sequential_send_many)]
+
+LANE_IDS = [name for name, _fn in LANES]
+
+
+def _with_lane(monkeypatch, lane):
+    from repro.sim.network import Network
+
+    if lane is not None:
+        monkeypatch.setattr(Network, "send_many", lane)
+
+
+def _burst_trace(engine_cls, lane, rules):
+    """Delivery trace of jittered fan-out bursts, optionally faulted.
+
+    A hub batches messages to three sinks over jittered links while a
+    second wave rides ``send``; the trace normalizes uids (fresh
+    duplicates get new ones) so runs are comparable across processes.
+    """
+    from repro.protocols.messages import DATA, GETS, INV, Message
+    from repro.scenario.faults import FaultPlan
+    from repro.sim.network import Link, Network, Node
+
+    deliveries = []
+
+    class Sink(Node):
+        def handle_message(self, msg):
+            deliveries.append((self.engine.now, self.node_id,
+                               msg.kind, msg.extra["seq"], msg.uid))
+
+    engine = engine_cls()
+    network = Network(engine, seed=9)
+    hub = Sink(engine, network, "hub")
+    sinks = [Sink(engine, network, f"s{i}") for i in range(3)]
+    for sink in sinks:
+        network.connect("hub", sink.node_id, Link(latency=300, jitter=120))
+    if rules is not None:
+        network.faults = FaultPlan(rules, seed=4)
+
+    seq = [0]
+
+    def burst(kind):
+        batch = []
+        for sink in sinks:
+            seq[0] += 1
+            batch.append(Message(kind, 0x40 + seq[0], "hub", sink.node_id,
+                                 extra={"seq": seq[0]}))
+        hub.send_many(batch)
+        # A trailing singleton exercises send() between batches.
+        seq[0] += 1
+        hub.send(Message(DATA, 0x40 + seq[0], "hub", sinks[0].node_id,
+                         extra={"seq": seq[0]}))
+
+    for round_no in range(6):
+        engine.post(round_no * 150, burst, (GETS, INV, DATA)[round_no % 3])
+    engine.run()
+
+    uid_norm: dict[int, int] = {}
+    return [(now, node, kind, seq_no,
+             uid_norm.setdefault(uid, len(uid_norm)))
+            for now, node, kind, seq_no, uid in deliveries]
+
+
+def _fault_rule_sets():
+    from repro.scenario.faults import FaultRule
+
+    return {
+        "clean": None,
+        "drop": [FaultRule("drop", window=(2, 5))],
+        "delay": [FaultRule("delay", delay_ticks=900, probability=0.4)],
+        "reorder": [FaultRule("reorder", delay_ticks=2_500, window=(1, 4))],
+        "duplicate": [FaultRule("duplicate", window=(0, 3))],
+        "mixed": [FaultRule("drop", kinds=("Inv",), window=(1, 2)),
+                  FaultRule("delay", kinds=("GetS",), delay_ticks=700,
+                            probability=0.5),
+                  FaultRule("duplicate", kinds=("Data",), window=(2, 4))],
+    }
+
+
+@pytest.mark.parametrize("fault_mode", list(_fault_rule_sets()))
+def test_burst_deliveries_identical_across_engines_and_lanes(
+        monkeypatch, fault_mode):
+    rules = _fault_rule_sets()[fault_mode]
+    reference = _burst_trace(LegacyEngine,
+                             _sequential_send_many, rules)
+    assert reference, "burst scenario delivered nothing"
+    for backend_name, engine_cls in BACKENDS:
+        for lane_name, lane in LANES:
+            with pytest.MonkeyPatch.context() as mp:
+                _with_lane(mp, lane)
+                trace = _burst_trace(engine_cls, lane, rules)
+            assert trace == reference, (
+                f"{backend_name}/{lane_name} diverged from "
+                f"legacy/sequential under {fault_mode!r} faults")
+
+
+@pytest.mark.parametrize("lane_name,lane", LANES, ids=LANE_IDS)
+@pytest.mark.parametrize("engine_name,engine_cls",
+                         BACKENDS, ids=BACKEND_IDS)
+def test_figure_cell_byte_identical_across_lanes(monkeypatch, engine_name,
+                                                 engine_cls, lane_name, lane):
+    combo, mcms = ("MESI", "CXL", "MESI"), ("WEAK", "WEAK")
+    _with_engine(monkeypatch, LegacyEngine)
+    reference = _fig_cell(combo, mcms)
+    _with_engine(monkeypatch, engine_cls)
+    _with_lane(monkeypatch, lane)
+    assert _fig_cell(combo, mcms) == reference, (
+        f"{engine_name}/{lane_name} produced a different RunResult for "
+        f"{combo}/{mcms}")
+
+
+def _faulted_system_blob():
+    """A faulted end-to-end run (delay + reorder keep the protocols live)."""
+    from repro.scenario.faults import FaultPlan, FaultRule
+    from repro.workloads import WORKLOADS
+
+    config = two_cluster_config("MESI", "CXL", "MESI", mcm_a="TSO",
+                                mcm_b="WEAK", cores_per_cluster=2, seed=3)
+    system = build_system(config)
+    system.network.faults = FaultPlan([
+        FaultRule("delay", vnet="resp", delay_ticks=700, probability=0.25),
+        FaultRule("reorder", vnet="fwd", delay_ticks=2_000, window=(0, 3)),
+    ], seed=11)
+    programs = WORKLOADS["histogram"].build(config.total_cores,
+                                            scale=0.2, seed=3)
+    return pickle.dumps(system.run_threads(programs))
+
+
+def test_faulted_run_byte_identical_across_engines_and_lanes(monkeypatch):
+    _with_engine(monkeypatch, LegacyEngine)
+    with pytest.MonkeyPatch.context() as mp:
+        _with_lane(mp, _sequential_send_many)
+        reference = _faulted_system_blob()
+    for backend_name, engine_cls in BACKENDS:
+        for lane_name, lane in LANES:
+            with pytest.MonkeyPatch.context() as mp:
+                _with_engine(mp, engine_cls)
+                _with_lane(mp, lane)
+                blob = _faulted_system_blob()
+            assert blob == reference, (
+                f"{backend_name}/{lane_name} changed the faulted "
+                f"RunResult byte stream")
+
+
+@pytest.mark.parametrize("lane_name,lane", LANES, ids=LANE_IDS)
+def test_obs_rollups_identical_across_lanes(monkeypatch, lane_name, lane):
+    reference = _obs_rollup(False)  # stock stack, spans + metrics on
+    for _backend_name, engine_cls in BACKENDS:
+        with pytest.MonkeyPatch.context() as mp:
+            _with_engine(mp, engine_cls)
+            _with_lane(mp, lane)
+            rollup = _obs_rollup(False)
+        assert rollup == reference, (
+            f"{_backend_name}/{lane_name} produced different span/metric "
+            "rollups")
